@@ -1,0 +1,171 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   A1  walk bandwidth: Lemma 2.4 batches O(log n) messages per edge; what
+//       happens to gather rounds at bandwidth 1, log n, 2 log n?
+//   A2  MWM phases: how fast does the multi-phase stitching converge?
+//   A3  MWM weighted vs unweighted decomposition volumes.
+//   A4  decomposition exact-cut threshold: exact small cuts vs spectral.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/core/framework.h"
+#include "src/core/mwm.h"
+#include "src/expander/decomposition.h"
+#include "src/seq/mwm.h"
+
+namespace {
+
+using namespace ecd;
+
+void BM_WalkBandwidth(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int bandwidth = static_cast<int>(state.range(1));  // 0 = log n
+  graph::Rng rng(4 + n);
+  const graph::Graph g = graph::random_maximal_planar(n, rng);
+  core::FrameworkOptions opt;
+  opt.walk_bandwidth = bandwidth;
+  core::Partition p;
+  for (auto _ : state) {
+    p = core::partition_and_gather(g, 0.3, opt);
+  }
+  std::int64_t gather = 0;
+  for (const auto& e : p.ledger.entries()) {
+    if (e.measured && e.label.starts_with("topology gather")) gather = e.rounds;
+  }
+  state.SetLabel("A1_walk_bandwidth");
+  state.counters["n"] = n;
+  state.counters["bandwidth"] =
+      bandwidth > 0 ? bandwidth
+                    : std::ceil(std::log2(std::max(2, g.num_vertices())));
+  state.counters["gather_rounds"] = static_cast<double>(gather);
+}
+
+BENCHMARK(BM_WalkBandwidth)
+    ->Args({600, 1})
+    ->Args({600, 0})
+    ->Args({600, 20})
+    ->Args({2000, 1})
+    ->Args({2000, 0})
+    ->Args({2000, 20})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MwmPhases(benchmark::State& state) {
+  const int phases = static_cast<int>(state.range(0));
+  graph::Rng rng(17);
+  graph::Graph base = graph::grid(12, 12);
+  const graph::Graph g =
+      base.with_weights(graph::random_weights(base, 500, rng));
+  core::MwmApproxOptions opt;
+  opt.framework.decomposition.phi = 0.1;  // force multi-cluster
+  opt.phases = phases;
+  core::MwmApproxResult r;
+  for (auto _ : state) {
+    r = core::mwm_approx(g, 0.3, opt);
+  }
+  const auto exact = seq::matching_weight(g, seq::max_weight_matching(g));
+  state.SetLabel("A2_mwm_phases");
+  state.counters["phases"] = phases;
+  state.counters["ratio"] =
+      exact ? static_cast<double>(r.weight) / exact : 1.0;
+}
+
+BENCHMARK(BM_MwmPhases)->DenseRange(1, 10, 1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MwmVolumeMode(benchmark::State& state) {
+  const bool weighted = state.range(0) != 0;
+  const graph::Weight w_max = state.range(1);
+  graph::Rng rng(23);
+  graph::Graph base = graph::grid(12, 12);
+  const graph::Graph g =
+      base.with_weights(graph::random_weights(base, w_max, rng));
+  core::MwmApproxOptions opt;
+  opt.framework.decomposition.phi = 0.1;
+  opt.weighted_decomposition = weighted;
+  opt.phases = 4;
+  core::MwmApproxResult r;
+  for (auto _ : state) {
+    r = core::mwm_approx(g, 0.3, opt);
+  }
+  const auto exact = seq::matching_weight(g, seq::max_weight_matching(g));
+  state.SetLabel(weighted ? "A3_weighted_volumes" : "A3_unweighted_volumes");
+  state.counters["W"] = static_cast<double>(w_max);
+  state.counters["ratio"] =
+      exact ? static_cast<double>(r.weight) / exact : 1.0;
+}
+
+BENCHMARK(BM_MwmVolumeMode)
+    ->Args({0, 100})
+    ->Args({1, 100})
+    ->Args({0, 100000})
+    ->Args({1, 100000})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactCutThreshold(benchmark::State& state) {
+  const int threshold = static_cast<int>(state.range(0));
+  graph::Rng rng(29);
+  const graph::Graph g = graph::random_planar(400, 700, rng);
+  expander::DecompositionOptions opt;
+  opt.exact_cut_threshold = threshold;
+  opt.phi = 0.1;
+  expander::ExpanderDecomposition d;
+  for (auto _ : state) {
+    d = expander::expander_decompose(g, 0.4, opt);
+  }
+  state.SetLabel("A4_exact_cut_threshold");
+  state.counters["threshold"] = threshold;
+  state.counters["clusters"] = d.num_clusters;
+  state.counters["inter_frac"] =
+      static_cast<double>(d.inter_cluster_edges) / g.num_edges();
+  double cert = 1.0;
+  for (double c : d.cluster_phi_certified) cert = std::min(cert, c);
+  state.counters["phi_cert_min"] = cert;
+}
+
+BENCHMARK(BM_ExactCutThreshold)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// A5: modeled vs fully distributed decomposition in the framework — the
+// distributed construction turns the ledger's modeled column to zero at the
+// price of measured power-iteration/convergecast rounds.
+void BM_DecompositionMode(benchmark::State& state) {
+  const bool distributed = state.range(0) != 0;
+  const int n = static_cast<int>(state.range(1));
+  graph::Rng rng(37 + n);
+  const graph::Graph g = graph::random_maximal_planar(n, rng);
+  core::FrameworkOptions opt;
+  opt.decomposition_mode = distributed ? core::DecompositionMode::kDistributed
+                                       : core::DecompositionMode::kModeled;
+  core::Partition p;
+  for (auto _ : state) {
+    p = core::partition_and_gather(g, 0.3, opt);
+  }
+  state.SetLabel(distributed ? "A5_distributed" : "A5_modeled");
+  state.counters["n"] = n;
+  state.counters["clusters"] = p.decomposition.num_clusters;
+  state.counters["inter_frac"] =
+      static_cast<double>(p.decomposition.inter_cluster_edges) /
+      std::max(1, g.num_edges());
+  state.counters["measured_rounds"] =
+      static_cast<double>(p.ledger.measured_total());
+  state.counters["modeled_rounds"] =
+      static_cast<double>(p.ledger.modeled_total());
+}
+
+BENCHMARK(BM_DecompositionMode)
+    ->Args({0, 400})
+    ->Args({1, 400})
+    ->Args({0, 1600})
+    ->Args({1, 1600})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

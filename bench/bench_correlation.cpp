@@ -1,0 +1,75 @@
+// E8 — Theorem 1.3: (1-ε)-approximate agreement-maximization correlation
+// clustering on planted signed planar networks, vs the pivot/KwikCluster
+// heuristic and the |E|/2 trivial bound.
+//
+// Counters:
+//   score_frac   ours / |E|
+//   pivot_frac   pivot / |E|
+//   trivial_frac  max(singletons, all-together) / |E|  (>= 1/2)
+//   vs_trivial   ours / trivial — must be >= (1-eps) by Thm 1.3, and
+//                typically well above 1
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "src/baselines/pivot_correlation.h"
+#include "src/core/correlation.h"
+#include "src/seq/correlation.h"
+
+namespace {
+
+using namespace ecd;
+
+void BM_Correlation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int noise_pm = static_cast<int>(state.range(1));
+  const double eps = bench::eps_from_arg(state.range(2));
+  graph::Rng rng(13 + n + noise_pm);
+  graph::Graph base = graph::random_maximal_planar(n, rng);
+  const graph::Graph g = base.with_signs(
+      graph::planted_signs(base, 12, noise_pm / 1000.0, rng));
+
+  core::CorrelationApproxResult r;
+  for (auto _ : state) {
+    r = core::correlation_approx(g, eps);
+  }
+  const auto pivot = baselines::pivot_correlation(g, rng);
+  seq::Clustering singletons(g.num_vertices());
+  std::iota(singletons.begin(), singletons.end(), 0);
+  const auto trivial =
+      std::max(seq::agreement_score(g, singletons),
+               seq::agreement_score(g, seq::Clustering(g.num_vertices(), 0)));
+
+  state.counters["n"] = g.num_vertices();
+  state.counters["noise"] = noise_pm / 1000.0;
+  state.counters["eps"] = eps;
+  state.counters["score_frac"] =
+      static_cast<double>(r.score) / g.num_edges();
+  state.counters["pivot_frac"] =
+      static_cast<double>(seq::agreement_score(g, pivot)) / g.num_edges();
+  state.counters["trivial_frac"] =
+      static_cast<double>(trivial) / g.num_edges();
+  state.counters["vs_trivial"] =
+      trivial ? static_cast<double>(r.score) / trivial : 1.0;
+  state.counters["clusters_exact"] = r.clusters_exact;
+  state.counters["measured_rounds"] =
+      static_cast<double>(r.ledger.measured_total());
+}
+
+void CorrelationArgs(benchmark::internal::Benchmark* b) {
+  for (int n : {200, 600, 1500}) {
+    for (int noise_pm : {0, 50, 150, 300}) {
+      b->Args({n, noise_pm, 200});
+    }
+  }
+  // eps sweep at fixed instance.
+  for (int eps_pm : {100, 200, 400}) {
+    b->Args({600, 100, eps_pm});
+  }
+}
+
+BENCHMARK(BM_Correlation)->Apply(CorrelationArgs)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// E2 — Lemma 2.3: every cluster of an (ε, φ) decomposition of an
+// H-minor-free graph has a vertex of degree Ω(φ²)·|V_i|.
+//
+// Counters:
+//   min_ratio   min over clusters of deg(v*) / (φ² |V_i|)  — must stay
+//               bounded away from 0 (Lemma 2.3's hidden constant)
+//   min_deg_frac min over clusters of deg(v*) / |V_i|
+//   clusters    cluster count
+//
+// This is a structural property of the decomposition, so the bench works
+// directly on the decomposition output (no routing simulation needed).
+// Forced-φ rows (phi_pm > 0) pin φ high so the decomposition really splits;
+// auto rows (phi_pm = 0) use the derived φ = ε/(8 log m).
+#include "bench/bench_util.h"
+#include "src/expander/decomposition.h"
+#include "src/graph/subgraph.h"
+
+namespace {
+
+using namespace ecd;
+
+void BM_HighDegree(benchmark::State& state) {
+  const auto family = static_cast<bench::Family>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const double phi = bench::eps_from_arg(state.range(2));
+  graph::Rng rng(777 + n);
+  const graph::Graph g = bench::make_graph(family, n, rng);
+
+  expander::DecompositionOptions opt;
+  opt.seed = 9;
+  if (phi > 0) opt.phi = phi;
+  expander::ExpanderDecomposition d;
+  for (auto _ : state) {
+    d = expander::expander_decompose(g, 0.4, opt);
+  }
+  state.SetLabel(bench::family_name(family));
+  double min_ratio = 1e18, min_frac = 1e18;
+  for (const auto& members : expander::cluster_members(d)) {
+    if (members.size() < 2) continue;
+    const auto sub = graph::induced_subgraph(g, members);
+    int leader_degree = 0;
+    for (graph::VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
+      leader_degree = std::max(leader_degree, sub.graph.degree(v));
+    }
+    const double denom = d.phi * d.phi * static_cast<double>(members.size());
+    if (denom > 0) min_ratio = std::min(min_ratio, leader_degree / denom);
+    min_frac = std::min(
+        min_frac, static_cast<double>(leader_degree) / members.size());
+  }
+  state.counters["n"] = g.num_vertices();
+  state.counters["clusters"] = d.num_clusters;
+  state.counters["phi"] = d.phi;
+  state.counters["min_ratio"] = min_ratio == 1e18 ? 0 : min_ratio;
+  state.counters["min_deg_frac"] = min_frac == 1e18 ? 0 : min_frac;
+}
+
+void HighDegreeArgs(benchmark::internal::Benchmark* b) {
+  for (auto family : {bench::Family::kGrid, bench::Family::kTriangulation,
+                      bench::Family::kRandomPlanar, bench::Family::kTwoTree}) {
+    for (int n : {256, 1024, 4096}) {
+      b->Args({static_cast<int>(family), n, 0});   // auto phi
+      b->Args({static_cast<int>(family), n, 60});  // forced phi=0.06
+    }
+  }
+}
+
+BENCHMARK(BM_HighDegree)->Apply(HighDegreeArgs)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E10 — Theorem 1.5: low-diameter decomposition with the optimal
+// D = O(1/ε), vs the generic MPX exponential-shift baseline whose diameter
+// is Θ(log n / ε). The cycle rows exhibit the D = Θ(1/ε) optimality.
+//
+// Counters:
+//   D            measured max strong cluster diameter (framework)
+//   D_times_eps  D * eps — flat across eps <=> D = O(1/eps)
+//   cut_frac     inter-cluster edge fraction (<= eps required)
+//   mpx_D        MPX baseline diameter
+//   mpx_cut_frac MPX baseline cut fraction
+#include "bench/bench_util.h"
+#include "src/baselines/mpx_ldd.h"
+#include "src/core/ldd.h"
+#include "src/seq/ldd.h"
+
+namespace {
+
+using namespace ecd;
+
+void BM_Ldd(benchmark::State& state) {
+  const auto family = static_cast<bench::Family>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const double eps = bench::eps_from_arg(state.range(2));
+  graph::Rng rng(7 + n);
+  const graph::Graph g = family == bench::Family::kTree && n < 0
+                             ? graph::cycle(-n)
+                             : bench::make_graph(family, n, rng);
+
+  core::LddApproxResult r;
+  for (auto _ : state) {
+    r = core::ldd_approx(g, eps);
+  }
+  const auto mpx = baselines::mpx_ldd(g, eps, rng);
+
+  state.SetLabel(bench::family_name(family));
+  state.counters["n"] = g.num_vertices();
+  state.counters["eps"] = eps;
+  state.counters["D"] = r.max_diameter;
+  state.counters["D_times_eps"] = r.max_diameter * eps;
+  state.counters["cut_frac"] =
+      g.num_edges() ? static_cast<double>(r.cut_edges) / g.num_edges() : 0.0;
+  state.counters["clusters"] = r.num_clusters;
+  state.counters["mpx_D"] = seq::ldd_max_diameter(g, mpx.cluster_of);
+  state.counters["mpx_cut_frac"] =
+      g.num_edges() ? static_cast<double>(mpx.cut_edges) / g.num_edges() : 0.0;
+  state.counters["measured_rounds"] =
+      static_cast<double>(r.ledger.measured_total());
+}
+
+void CycleLdd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double eps = bench::eps_from_arg(state.range(1));
+  const graph::Graph g = graph::cycle(n);
+  graph::Rng rng(3);
+  core::LddApproxResult r;
+  for (auto _ : state) {
+    r = core::ldd_approx(g, eps);
+  }
+  state.SetLabel("cycle");
+  state.counters["n"] = n;
+  state.counters["eps"] = eps;
+  state.counters["D"] = r.max_diameter;
+  state.counters["D_times_eps"] = r.max_diameter * eps;
+  state.counters["cut_frac"] =
+      static_cast<double>(r.cut_edges) / g.num_edges();
+  // Lower bound: any (eps, D) decomposition of a cycle has D >= 1/eps - 1.
+  state.counters["D_lower_bound"] = 1.0 / eps - 1.0;
+}
+
+void LddArgs(benchmark::internal::Benchmark* b) {
+  for (auto family : {bench::Family::kGrid, bench::Family::kTriangulation,
+                      bench::Family::kRandomPlanar}) {
+    for (int n : {400, 1600}) {
+      for (int eps_pm : {100, 200, 400}) {
+        b->Args({static_cast<int>(family), n, eps_pm});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_Ldd)->Apply(LddArgs)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(CycleLdd)
+    ->Args({600, 50})
+    ->Args({600, 100})
+    ->Args({600, 200})
+    ->Args({600, 400})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// E6 — Theorem 3.2: (1-ε)-approximate MCM on planar networks with the
+// star-elimination preprocessing (Lemma 3.1), against the distributed
+// maximal-matching 1/2-approximation baseline.
+//
+// Counters:
+//   ours / exact / ratio       framework vs blossom optimum
+//   maximal / maximal_ratio    Israeli–Itai-style baseline
+//   removed                    vertices removed by star elimination
+//   linearity                  |M*| / surviving-vertices (Lemma 3.1 check)
+#include "bench/bench_util.h"
+#include "src/baselines/maximal_matching.h"
+#include "src/core/matching.h"
+#include "src/graph/subgraph.h"
+#include "src/seq/matching.h"
+
+namespace {
+
+using namespace ecd;
+
+void BM_Matching(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));  // 0 planar, 1 pathology
+  const int n = static_cast<int>(state.range(1));
+  const double eps = bench::eps_from_arg(state.range(2));
+  graph::Rng rng(66 + n);
+  const graph::Graph g =
+      kind == 0 ? graph::random_planar(n, 2 * n, rng)
+                : graph::star_pathology(n / 12, 10, rng);
+
+  core::McmApproxResult r;
+  for (auto _ : state) {
+    r = core::mcm_planar_approx(g, eps);
+  }
+  const int exact = seq::matching_size(seq::max_cardinality_matching(g));
+  const auto maximal = baselines::distributed_maximal_matching(g, 5);
+
+  // Lemma 3.1 check on the eliminated graph.
+  const auto elim = core::eliminate_stars(g);
+  std::vector<bool> keep(g.num_edges(), true);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    keep[e] = !elim.removed[g.edge(e).u] && !elim.removed[g.edge(e).v];
+  }
+  const auto g_bar = graph::edge_subgraph(g, keep);
+  int surviving = 0;
+  for (graph::VertexId v = 0; v < g_bar.num_vertices(); ++v) {
+    surviving += g_bar.degree(v) > 0;
+  }
+
+  state.SetLabel(kind == 0 ? "random_planar" : "star_pathology");
+  state.counters["n"] = g.num_vertices();
+  state.counters["eps"] = eps;
+  state.counters["ours"] = r.matching_size;
+  state.counters["exact"] = exact;
+  state.counters["ratio"] =
+      exact ? static_cast<double>(r.matching_size) / exact : 1.0;
+  state.counters["maximal"] = seq::matching_size(maximal.mates);
+  state.counters["maximal_ratio"] =
+      exact ? static_cast<double>(seq::matching_size(maximal.mates)) / exact
+            : 1.0;
+  state.counters["removed"] = r.removed_vertices;
+  state.counters["linearity"] =
+      surviving ? static_cast<double>(exact) / surviving : 1.0;
+  state.counters["measured_rounds"] =
+      static_cast<double>(r.ledger.measured_total());
+}
+
+void MatchingArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {0, 1}) {
+    for (int n : {240, 600, 1200}) {
+      for (int eps_pm : {100, 200, 400}) {
+        b->Args({kind, n, eps_pm});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_Matching)->Apply(MatchingArgs)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

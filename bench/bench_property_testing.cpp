@@ -1,0 +1,80 @@
+// E9 — Theorem 1.4: distributed property testing with one-sided error.
+//
+// Counters (over `trials` seeds):
+//   accept_yes   acceptance rate on inputs *with* the property (must be 1.0
+//                — the paper's one-sided guarantee)
+//   accept_far   acceptance rate on ε-far inputs (must be ~0.0)
+//   far_extra    edges added to make the input ε-far
+#include "bench/bench_util.h"
+#include "src/core/property_testing.h"
+#include "src/seq/properties.h"
+
+namespace {
+
+using namespace ecd;
+
+seq::MinorClosedProperty property_by_id(int id) {
+  switch (id) {
+    case 0: return seq::planar_property();
+    case 1: return seq::outerplanar_property();
+    case 2: return seq::forest_property();
+    default: return seq::treewidth2_property();
+  }
+}
+
+graph::Graph yes_instance(int id, int n, graph::Rng& rng) {
+  switch (id) {
+    case 0: return graph::random_maximal_planar(n, rng);
+    case 1: return graph::random_outerplanar(n, rng);
+    case 2: return graph::random_tree(n, rng);
+    default: return graph::random_two_tree(n, rng);
+  }
+}
+
+void BM_PropertyTesting(benchmark::State& state) {
+  const int prop_id = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const double eps = bench::eps_from_arg(state.range(2));
+  const auto property = property_by_id(prop_id);
+  const int trials = 8;
+
+  int yes_accepts = 0, far_accepts = 0, extra = 0;
+  for (auto _ : state) {
+    yes_accepts = far_accepts = 0;
+    for (int t = 0; t < trials; ++t) {
+      graph::Rng rng(1000 * prop_id + 17 * t + n);
+      const auto yes = yes_instance(prop_id, n, rng);
+      core::PropertyTestOptions opt;
+      opt.framework.seed = 31 + t;
+      yes_accepts += core::property_test(yes, property, eps, opt).accept;
+      // ε-far instance: add > eps * |E| random edges.
+      extra = static_cast<int>(1.5 * eps * yes.num_edges()) + 5;
+      const auto far = graph::plus_random_edges(yes, extra, rng);
+      far_accepts += core::property_test(far, property, eps, opt).accept;
+    }
+  }
+  state.SetLabel(property.name);
+  state.counters["n"] = n;
+  state.counters["eps"] = eps;
+  state.counters["accept_yes"] = static_cast<double>(yes_accepts) / trials;
+  state.counters["accept_far"] = static_cast<double>(far_accepts) / trials;
+  state.counters["far_extra"] = extra;
+}
+
+void PropertyArgs(benchmark::internal::Benchmark* b) {
+  for (int prop : {0, 1, 2, 3}) {
+    for (int n : {200, 800}) {
+      b->Args({prop, n, 200});
+    }
+  }
+  for (int eps_pm : {100, 300}) {
+    b->Args({0, 400, eps_pm});
+  }
+}
+
+BENCHMARK(BM_PropertyTesting)->Apply(PropertyArgs)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

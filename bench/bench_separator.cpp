@@ -1,0 +1,61 @@
+// E4 — Theorem 1.6: H-minor-free graphs admit balanced edge separators of
+// size O(sqrt(Δ n)).
+//
+// Counters:
+//   cut            separator size found
+//   sqrt_dn        sqrt(Δ n) envelope
+//   normalized     cut / sqrt(Δ n)  — should stay O(1) across n for
+//                  minor-free families, and *blow up* for expanders
+//   balance        smaller side / n (>= 1/3 by construction)
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/seq/separator.h"
+
+namespace {
+
+using namespace ecd;
+
+void BM_Separator(benchmark::State& state) {
+  const auto family = static_cast<bench::Family>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  graph::Rng rng(99 + n);
+  const graph::Graph g = bench::make_graph(family, n, rng);
+
+  seq::SeparatorResult r;
+  for (auto _ : state) {
+    r = seq::edge_separator(g, rng);
+  }
+  const double envelope =
+      std::sqrt(static_cast<double>(g.max_degree()) * g.num_vertices());
+  state.SetLabel(bench::family_name(family));
+  state.counters["n"] = g.num_vertices();
+  state.counters["max_deg"] = g.max_degree();
+  state.counters["cut"] = r.cut_size;
+  state.counters["sqrt_dn"] = envelope;
+  state.counters["normalized"] = r.cut_size / envelope;
+  state.counters["balance"] =
+      static_cast<double>(r.smaller_side) / g.num_vertices();
+}
+
+void SeparatorArgs(benchmark::internal::Benchmark* b) {
+  for (auto family :
+       {bench::Family::kGrid, bench::Family::kTriangulation,
+        bench::Family::kRandomPlanar, bench::Family::kOuterplanar,
+        bench::Family::kTwoTree, bench::Family::kTree}) {
+    for (int n : {256, 1024, 4096, 16384}) {
+      b->Args({static_cast<int>(family), n});
+    }
+  }
+  // Control: expanders have no o(n) balanced separator — normalized grows.
+  for (int n : {256, 1024, 4096}) {
+    b->Args({static_cast<int>(bench::Family::kRegularExpander), n});
+  }
+}
+
+BENCHMARK(BM_Separator)->Apply(SeparatorArgs)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

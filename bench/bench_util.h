@@ -1,0 +1,75 @@
+// Shared helpers for the experiment harness (see DESIGN.md §5 and
+// EXPERIMENTS.md). Every bench binary regenerates one experiment table:
+// google-benchmark rows are parameterized by (family, n, eps, ...) and the
+// measured quantities are exported as user counters.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+
+namespace ecd::bench {
+
+enum class Family : int {
+  kGrid = 0,
+  kRandomPlanar = 1,
+  kTriangulation = 2,
+  kOuterplanar = 3,
+  kTwoTree = 4,
+  kTree = 5,
+  kHypercube = 6,
+  kRegularExpander = 7,
+};
+
+inline const char* family_name(Family f) {
+  switch (f) {
+    case Family::kGrid: return "grid";
+    case Family::kRandomPlanar: return "random_planar";
+    case Family::kTriangulation: return "triangulation";
+    case Family::kOuterplanar: return "outerplanar";
+    case Family::kTwoTree: return "two_tree";
+    case Family::kTree: return "tree";
+    case Family::kHypercube: return "hypercube";
+    case Family::kRegularExpander: return "regular_expander";
+  }
+  return "?";
+}
+
+// Generates a member of the family with ~n vertices.
+inline graph::Graph make_graph(Family f, int n, graph::Rng& rng) {
+  switch (f) {
+    case Family::kGrid: {
+      int side = 1;
+      while (side * side < n) ++side;
+      return graph::grid(side, side);
+    }
+    case Family::kRandomPlanar:
+      return graph::random_planar(n, 2 * n, rng);
+    case Family::kTriangulation:
+      return graph::random_maximal_planar(n, rng);
+    case Family::kOuterplanar:
+      return graph::random_outerplanar(n, rng);
+    case Family::kTwoTree:
+      return graph::random_two_tree(n, rng);
+    case Family::kTree:
+      return graph::random_tree(n, rng);
+    case Family::kHypercube: {
+      int dim = 1;
+      while ((1 << dim) < n) ++dim;
+      return graph::hypercube(dim);
+    }
+    case Family::kRegularExpander:
+      return graph::random_regular(n - (n % 2), 6, rng);
+  }
+  throw std::invalid_argument("unknown family");
+}
+
+// eps encoded as an integer benchmark arg (per-mille).
+inline double eps_from_arg(std::int64_t permille) {
+  return static_cast<double>(permille) / 1000.0;
+}
+
+}  // namespace ecd::bench

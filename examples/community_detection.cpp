@@ -1,0 +1,48 @@
+// Community detection as correlation clustering (Theorem 1.3, §3.3).
+//
+// A geographic social network (planar triangulation) carries +/- edges:
+// friends inside planted communities, rivals across, with label noise. The
+// framework recovers a clustering whose agreement score approaches the
+// optimum; the KwikCluster pivot heuristic is shown for contrast.
+//
+//   ./community_detection [n] [noise]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/baselines/pivot_correlation.h"
+#include "src/core/correlation.h"
+#include "src/graph/generators.h"
+#include "src/seq/correlation.h"
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 400;
+  const double noise = argc > 2 ? std::atof(argv[2]) : 0.05;
+
+  ecd::graph::Rng rng(11);
+  auto base = ecd::graph::random_maximal_planar(n, rng);
+  const int community_size = 16;
+  const auto g = base.with_signs(
+      ecd::graph::planted_signs(base, community_size, noise, rng));
+  std::printf(
+      "social network: n=%d, m=%d, planted communities of ~%d, noise %.2f\n",
+      g.num_vertices(), g.num_edges(), community_size, noise);
+
+  const double eps = 0.2;
+  const auto ours = ecd::core::correlation_approx(g, eps);
+  const auto pivot = ecd::baselines::pivot_correlation(g, rng);
+  const auto pivot_score = ecd::seq::agreement_score(g, pivot);
+
+  std::printf("\nagreement scores (max %d = every edge consistent):\n",
+              g.num_edges());
+  std::printf("  framework (eps=%.2f):   %lld  (%.1f%% of edges)\n", eps,
+              static_cast<long long>(ours.score),
+              100.0 * ours.score / g.num_edges());
+  std::printf("  pivot/KwikCluster:      %lld  (%.1f%% of edges)\n",
+              static_cast<long long>(pivot_score),
+              100.0 * pivot_score / g.num_edges());
+  std::printf("  |E|/2 trivial bound:    %d\n", g.num_edges() / 2);
+  std::printf("\nframework clusters: %d (%d solved exactly)\n",
+              ours.num_clusters, ours.clusters_exact);
+  std::printf("\nround ledger:\n%s", ours.ledger.to_string().c_str());
+  return 0;
+}

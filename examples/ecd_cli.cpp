@@ -1,0 +1,258 @@
+// ecd_cli — command-line driver for the library.
+//
+//   ecd_cli gen <family> <n> [seed]          write an edge list to stdout
+//   ecd_cli decompose <file> [opts]          (ε, φ) expander decomposition
+//   ecd_cli mis <file> [opts]                (1-ε)-approx MaxIS (Thm 1.2)
+//   ecd_cli mcm <file> [opts]                planar MCM (Thm 3.2)
+//   ecd_cli mwm <file> [opts]                weighted matching (Thm 1.1)
+//   ecd_cli correlate <file> [opts]          correlation clustering (Thm 1.3)
+//   ecd_cli test-planarity <file> [opts]     property testing (Thm 1.4)
+//   ecd_cli ldd <file> [opts]                low-diameter decomp (Thm 1.5)
+//   ecd_cli triangles <file>                 distributed triangle census
+//
+// options: --eps <x>      proximity/approximation parameter (default 0.2)
+//          --seed <k>     RNG seed (default 1)
+//          --distributed  fully measured decomposition (no modeled rounds)
+//          --dot <out>    write a cluster-colored DOT file (decompose/ldd)
+//
+// families for `gen`: grid, tri, planar, outer, twotree, tree, torus,
+// hypercube, expander.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/core/correlation.h"
+#include "src/core/framework.h"
+#include "src/core/ldd.h"
+#include "src/core/matching.h"
+#include "src/core/mis.h"
+#include "src/core/mwm.h"
+#include "src/core/property_testing.h"
+#include "src/core/triangles.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/seq/properties.h"
+
+namespace {
+
+using ecd::graph::Graph;
+
+struct Options {
+  double eps = 0.2;
+  std::uint64_t seed = 1;
+  bool distributed = false;
+  std::string dot_path;
+  std::string input;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: ecd_cli <gen|decompose|mis|mcm|mwm|correlate|"
+               "test-planarity|ldd|triangles> ... (see source header)\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--eps" && i + 1 < argc) {
+      o.eps = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      o.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--distributed") {
+      o.distributed = true;
+    } else if (arg == "--dot" && i + 1 < argc) {
+      o.dot_path = argv[++i];
+    } else if (o.input.empty() && arg[0] != '-') {
+      o.input = arg;
+    } else {
+      usage();
+    }
+  }
+  if (o.input.empty()) usage();
+  return o;
+}
+
+Graph load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return ecd::graph::read_edge_list(in);
+}
+
+ecd::core::FrameworkOptions framework_options(const Options& o) {
+  ecd::core::FrameworkOptions f;
+  f.seed = o.seed;
+  if (o.distributed) {
+    f.decomposition_mode = ecd::core::DecompositionMode::kDistributed;
+  }
+  return f;
+}
+
+void maybe_write_dot(const Options& o, const Graph& g,
+                     const std::vector<int>& clusters) {
+  if (o.dot_path.empty()) return;
+  std::ofstream out(o.dot_path);
+  out << ecd::graph::to_dot(g, clusters);
+  std::printf("wrote %s\n", o.dot_path.c_str());
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 4) usage();
+  const std::string family = argv[2];
+  const int n = std::atoi(argv[3]);
+  ecd::graph::Rng rng(argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1);
+  Graph g;
+  if (family == "grid") {
+    int side = 1;
+    while (side * side < n) ++side;
+    g = ecd::graph::grid(side, side);
+  } else if (family == "tri") {
+    g = ecd::graph::random_maximal_planar(n, rng);
+  } else if (family == "planar") {
+    g = ecd::graph::random_planar(n, 2 * n, rng);
+  } else if (family == "outer") {
+    g = ecd::graph::random_outerplanar(n, rng);
+  } else if (family == "twotree") {
+    g = ecd::graph::random_two_tree(n, rng);
+  } else if (family == "tree") {
+    g = ecd::graph::random_tree(n, rng);
+  } else if (family == "torus") {
+    int side = 3;
+    while (side * side < n) ++side;
+    g = ecd::graph::torus_grid(side, side);
+  } else if (family == "hypercube") {
+    int dim = 1;
+    while ((1 << dim) < n) ++dim;
+    g = ecd::graph::hypercube(dim);
+  } else if (family == "expander") {
+    g = ecd::graph::random_regular(n - (n % 2), 6, rng);
+  } else {
+    usage();
+  }
+  ecd::graph::write_edge_list(g, std::cout);
+  return 0;
+}
+
+int cmd_decompose(const Options& o) {
+  const Graph g = load(o.input);
+  const auto p = ecd::core::partition_and_gather(g, o.eps, framework_options(o));
+  std::printf("n=%d m=%d clusters=%d inter-cluster=%d (budget %.0f) phi=%.5f\n",
+              g.num_vertices(), g.num_edges(), p.decomposition.num_clusters,
+              p.decomposition.inter_cluster_edges,
+              p.eps_effective * g.num_edges(), p.decomposition.phi);
+  std::printf("%s", p.ledger.to_string().c_str());
+  maybe_write_dot(o, g, p.decomposition.cluster_of);
+  return 0;
+}
+
+int cmd_mis(const Options& o) {
+  const Graph g = load(o.input);
+  ecd::core::MisApproxOptions opt;
+  opt.framework = framework_options(o);
+  const auto r = ecd::core::mis_approx(g, o.eps, opt);
+  std::printf("independent set: %zu vertices (%d clusters, %d exact, "
+              "%d conflicts removed)\n",
+              r.independent_set.size(), r.num_clusters, r.clusters_exact,
+              r.conflicts_removed);
+  std::printf("%s", r.ledger.to_string().c_str());
+  return 0;
+}
+
+int cmd_mcm(const Options& o) {
+  const Graph g = load(o.input);
+  ecd::core::McmApproxOptions opt;
+  opt.framework = framework_options(o);
+  const auto r = ecd::core::mcm_planar_approx(g, o.eps, opt);
+  std::printf("matching size: %d (%d vertices pruned by star elimination)\n",
+              r.matching_size, r.removed_vertices);
+  std::printf("%s", r.ledger.to_string().c_str());
+  return 0;
+}
+
+int cmd_mwm(const Options& o) {
+  const Graph g = load(o.input);
+  ecd::core::MwmApproxOptions opt;
+  opt.framework = framework_options(o);
+  const auto r = ecd::core::mwm_approx(g, o.eps, opt);
+  std::printf("matching weight: %lld (%d phases)\n",
+              static_cast<long long>(r.weight), r.phases);
+  std::printf("%s", r.ledger.to_string().c_str());
+  return 0;
+}
+
+int cmd_correlate(const Options& o) {
+  Graph g = load(o.input);
+  if (!g.is_signed()) {
+    // Unsigned inputs: treat every edge as positive (documented default).
+    std::fprintf(stderr, "note: input unsigned; all edges treated positive\n");
+  }
+  ecd::core::CorrelationApproxOptions opt;
+  opt.framework = framework_options(o);
+  const auto r = ecd::core::correlation_approx(g, o.eps, opt);
+  std::printf("agreement score: %lld / %d edges\n",
+              static_cast<long long>(r.score), g.num_edges());
+  std::printf("%s", r.ledger.to_string().c_str());
+  return 0;
+}
+
+int cmd_test_planarity(const Options& o) {
+  const Graph g = load(o.input);
+  ecd::core::PropertyTestOptions opt;
+  opt.framework = framework_options(o);
+  const auto r =
+      ecd::core::property_test(g, ecd::seq::planar_property(), o.eps, opt);
+  std::printf("%s (%d clusters fail planarity, %d fail degree condition)\n",
+              r.accept ? "ACCEPT" : "REJECT", r.clusters_failing_property,
+              r.clusters_failing_degree_condition);
+  std::printf("%s", r.ledger.to_string().c_str());
+  return r.accept ? 0 : 3;
+}
+
+int cmd_ldd(const Options& o) {
+  const Graph g = load(o.input);
+  ecd::core::LddApproxOptions opt;
+  opt.framework = framework_options(o);
+  const auto r = ecd::core::ldd_approx(g, o.eps, opt);
+  std::printf("clusters=%d cut=%d (%.1f%% of edges) max-diameter=%d "
+              "(target O(1/eps)=%.0f)\n",
+              r.num_clusters, r.cut_edges,
+              g.num_edges() ? 100.0 * r.cut_edges / g.num_edges() : 0.0,
+              r.max_diameter, 1.0 / o.eps);
+  std::printf("%s", r.ledger.to_string().c_str());
+  maybe_write_dot(o, g, r.cluster_of);
+  return 0;
+}
+
+int cmd_triangles(const Options& o) {
+  const Graph g = load(o.input);
+  const auto r = ecd::core::count_triangles_distributed(g);
+  std::printf("triangles: %lld (out-degree bound %d)\n%s",
+              static_cast<long long>(r.triangles), r.out_degree_bound,
+              r.ledger.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return cmd_gen(argc, argv);
+  if (argc < 3) usage();
+  const Options o = parse(argc, argv, 2);
+  if (cmd == "decompose") return cmd_decompose(o);
+  if (cmd == "mis") return cmd_mis(o);
+  if (cmd == "mcm") return cmd_mcm(o);
+  if (cmd == "mwm") return cmd_mwm(o);
+  if (cmd == "correlate") return cmd_correlate(o);
+  if (cmd == "test-planarity") return cmd_test_planarity(o);
+  if (cmd == "ldd") return cmd_ldd(o);
+  if (cmd == "triangles") return cmd_triangles(o);
+  usage();
+}

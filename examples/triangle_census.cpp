@@ -1,0 +1,42 @@
+// Distributed triangle census on a sparse network: count triadic closures
+// (e.g. mutual-contact triangles in a geographic mesh) in O(degeneracy)
+// CONGEST rounds — no topology ever leaves the neighborhood.
+//
+//   ./triangle_census [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/triangles.h"
+#include "src/graph/generators.h"
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 500;
+  ecd::graph::Rng rng(21);
+
+  struct Row {
+    const char* name;
+    ecd::graph::Graph g;
+  };
+  const Row rows[] = {
+      {"planar triangulation", ecd::graph::random_maximal_planar(n, rng)},
+      {"random planar (sparse)", ecd::graph::random_planar(n, 2 * n, rng)},
+      {"2-tree", ecd::graph::random_two_tree(n, rng)},
+      {"grid (triangle-free)", ecd::graph::grid(20, n / 20)},
+  };
+
+  std::printf("%-26s %8s %8s %10s %10s %8s\n", "network", "n", "m",
+              "triangles", "check", "rounds");
+  for (const Row& row : rows) {
+    const auto r = ecd::core::count_triangles_distributed(row.g);
+    const auto oracle = ecd::core::count_triangles_sequential(row.g);
+    std::printf("%-26s %8d %8d %10lld %10lld %8lld\n", row.name,
+                row.g.num_vertices(), row.g.num_edges(),
+                static_cast<long long>(r.triangles),
+                static_cast<long long>(oracle),
+                static_cast<long long>(r.ledger.measured_total()));
+  }
+  std::printf("\nAll rounds are measured on the CONGEST simulator with\n"
+              "O(log n)-bit messages; the count finishes in O(degeneracy)\n"
+              "exchange rounds plus an O(log n)-phase orientation.\n");
+  return 0;
+}

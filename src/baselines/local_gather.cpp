@@ -1,0 +1,105 @@
+#include "src/baselines/local_gather.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+namespace ecd::baselines {
+
+using congest::Context;
+using congest::Message;
+using graph::Graph;
+using graph::VertexId;
+
+namespace {
+
+// Gossip flood: every round, forward all newly learned intra-cluster edges
+// to all intra-cluster neighbors in one (unbounded) message.
+class GossipAlgo final : public congest::VertexAlgorithm {
+ public:
+  GossipAlgo(const std::vector<int>* intra, std::int64_t* max_words)
+      : intra_(intra), max_words_(max_words) {}
+
+  void round(Context& ctx) override {
+    started_ = true;
+    std::vector<std::int64_t> fresh;
+    if (ctx.round() == 0) {
+      for (int p : *intra_) {
+        const auto key = encode(ctx.id(), ctx.neighbor(p));
+        if (known_.insert(key).second) fresh.push_back(key);
+      }
+    }
+    for (int p : *intra_) {
+      for (const Message& m : ctx.inbox(p)) {
+        for (std::int64_t key : m.words) {
+          if (known_.insert(key).second) fresh.push_back(key);
+        }
+      }
+    }
+    sent_ = !fresh.empty();
+    if (sent_) {
+      for (int p : *intra_) {
+        Message m;
+        m.words = fresh;
+        *max_words_ = std::max(*max_words_,
+                               static_cast<std::int64_t>(m.words.size()));
+        ctx.send(p, std::move(m));
+      }
+    }
+  }
+
+  bool finished() const override { return started_ && !sent_; }
+  std::int64_t edges_known() const {
+    return static_cast<std::int64_t>(known_.size());
+  }
+
+ private:
+  static std::int64_t encode(VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::int64_t>(a) << 32) | static_cast<std::uint32_t>(b);
+  }
+
+  const std::vector<int>* intra_;
+  std::int64_t* max_words_;
+  std::set<std::int64_t> known_;
+  bool started_ = false;
+  bool sent_ = false;
+};
+
+}  // namespace
+
+LocalGatherResult local_model_gather(const Graph& g,
+                                     const std::vector<int>& cluster_of,
+                                     const std::vector<VertexId>& leader_of) {
+  const int n = g.num_vertices();
+  std::vector<std::vector<int>> intra(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (int p = 0; p < static_cast<int>(nbrs.size()); ++p) {
+      if (cluster_of[nbrs[p]] == cluster_of[v]) intra[v].push_back(p);
+    }
+  }
+  LocalGatherResult result;
+  std::vector<std::unique_ptr<congest::VertexAlgorithm>> algos;
+  std::vector<GossipAlgo*> typed(n);
+  for (VertexId v = 0; v < n; ++v) {
+    auto a = std::make_unique<GossipAlgo>(&intra[v], &result.max_message_words);
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  congest::NetworkOptions opt;
+  opt.enforce_bandwidth = false;  // the LOCAL model
+  congest::Network network(g, opt);
+  result.stats = network.run(algos);
+  int num_clusters = 0;
+  for (int c : cluster_of) num_clusters = std::max(num_clusters, c + 1);
+  result.edges_learned.assign(num_clusters, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (leader_of[v] == v) {
+      result.edges_learned[cluster_of[v]] = typed[v]->edges_known();
+    }
+  }
+  return result;
+}
+
+}  // namespace ecd::baselines

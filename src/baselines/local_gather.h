@@ -1,0 +1,28 @@
+// LOCAL-model cluster gathering: the approach the paper's framework
+// replaces. Every vertex floods its incident edge list with *unbounded*
+// message sizes; after diameter-many rounds the leader knows the topology.
+// Exhibits the LOCAL–CONGEST gap: few rounds, enormous messages — run it
+// next to random_walk_gather and compare words_sent / max message size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/congest/network.h"
+#include "src/graph/graph.h"
+
+namespace ecd::baselines {
+
+struct LocalGatherResult {
+  // Per cluster: edge count the leader learned (for verification).
+  std::vector<std::int64_t> edges_learned;
+  congest::RunStats stats;
+  // Largest single message, in words — the LOCAL model's hidden cost.
+  std::int64_t max_message_words = 0;
+};
+
+LocalGatherResult local_model_gather(const graph::Graph& g,
+                                     const std::vector<int>& cluster_of,
+                                     const std::vector<graph::VertexId>& leader_of);
+
+}  // namespace ecd::baselines

@@ -1,0 +1,102 @@
+#include "src/baselines/luby_mis.h"
+
+#include <memory>
+#include <random>
+#include <utility>
+
+namespace ecd::baselines {
+
+using congest::Context;
+using congest::Message;
+using graph::Graph;
+using graph::VertexId;
+
+namespace {
+
+// Two rounds per phase. Even round: active vertices draw and exchange random
+// priorities. Odd round: a vertex that is the strict (priority, id) minimum
+// of its still-active neighborhood joins the MIS and announces membership;
+// the announcement (-1 tag) retires its neighbors at the start of the next
+// even round.
+class LubyAlgo final : public congest::VertexAlgorithm {
+ public:
+  explicit LubyAlgo(std::uint64_t seed) : rng_(seed) {}
+
+  enum class State { kActive, kInMis, kRetired };
+
+  void round(Context& ctx) override {
+    if (done_) return;
+    if (ctx.round() % 2 == 0) {
+      // Retirement announcements from the previous odd round arrive now.
+      for (int p = 0; p < ctx.num_ports(); ++p) {
+        for (const Message& m : ctx.inbox(p)) {
+          if (m.words[0] == -1) {
+            state_ = State::kRetired;
+            done_ = true;
+            return;
+          }
+        }
+      }
+      ++phases_;
+      priority_ = static_cast<std::int64_t>(rng_() >> 1);
+      for (int p = 0; p < ctx.num_ports(); ++p) {
+        ctx.send(p, {{priority_, ctx.id()}});
+      }
+      return;
+    }
+    bool wins = true;
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      for (const Message& m : ctx.inbox(p)) {
+        if (m.words[0] == -1) continue;  // stale announcement
+        if (std::pair(m.words[0], m.words[1]) <
+            std::pair(priority_, static_cast<std::int64_t>(ctx.id()))) {
+          wins = false;
+        }
+      }
+    }
+    if (wins) {
+      state_ = State::kInMis;
+      done_ = true;
+      for (int p = 0; p < ctx.num_ports(); ++p) {
+        ctx.send(p, {{-1, ctx.id()}});
+      }
+    }
+  }
+
+  bool finished() const override { return done_; }
+  State state() const { return state_; }
+  int phases() const { return phases_; }
+
+ private:
+  std::mt19937_64 rng_;
+  State state_ = State::kActive;
+  std::int64_t priority_ = 0;
+  bool done_ = false;
+  int phases_ = 0;
+};
+
+}  // namespace
+
+LubyResult luby_mis(const Graph& g, std::uint64_t seed,
+                    const congest::NetworkOptions& net) {
+  std::vector<std::unique_ptr<congest::VertexAlgorithm>> algos;
+  std::vector<LubyAlgo*> typed(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a =
+        std::make_unique<LubyAlgo>(seed ^ (0xD1B54A32D192ED03ULL * (v + 2)));
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  congest::Network network(g, net);
+  LubyResult result;
+  result.stats = network.run(algos);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (typed[v]->state() == LubyAlgo::State::kInMis) {
+      result.independent_set.push_back(v);
+    }
+    result.phases = std::max(result.phases, typed[v]->phases());
+  }
+  return result;
+}
+
+}  // namespace ecd::baselines

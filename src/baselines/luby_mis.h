@@ -1,0 +1,23 @@
+// Luby-style distributed maximal independent set — the classical CONGEST
+// baseline the paper's §1.1 contrasts with: a maximal IS is only a
+// (1/Δ)-approximation to MaxIS, but takes O(log n) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/congest/network.h"
+#include "src/graph/graph.h"
+
+namespace ecd::baselines {
+
+struct LubyResult {
+  std::vector<graph::VertexId> independent_set;
+  congest::RunStats stats;
+  int phases = 0;
+};
+
+LubyResult luby_mis(const graph::Graph& g, std::uint64_t seed = 1,
+                    const congest::NetworkOptions& net = {});
+
+}  // namespace ecd::baselines

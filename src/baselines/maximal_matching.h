@@ -1,0 +1,23 @@
+// Israeli–Itai-style randomized distributed maximal matching: the classical
+// O(log n)-round CONGEST baseline, a 1/2-approximation to MCM (§1.1).
+#pragma once
+
+#include <cstdint>
+
+#include "src/congest/network.h"
+#include "src/graph/graph.h"
+#include "src/seq/matching.h"
+
+namespace ecd::baselines {
+
+struct DistributedMatchingResult {
+  seq::Mates mates;
+  congest::RunStats stats;
+  int phases = 0;
+};
+
+DistributedMatchingResult distributed_maximal_matching(
+    const graph::Graph& g, std::uint64_t seed = 1,
+    const congest::NetworkOptions& net = {});
+
+}  // namespace ecd::baselines

@@ -1,0 +1,36 @@
+// Miller–Peng–Xu exponential-shift low-diameter decomposition: the generic
+// baseline with D = O(log n / ε) — the paper's Theorem 1.5 improves this to
+// D = O(1/ε) on minor-free networks.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace ecd::baselines {
+
+struct MpxResult {
+  std::vector<int> cluster_of;
+  int num_clusters = 0;
+  int cut_edges = 0;
+};
+
+// beta = eps/2; each vertex draws delta_v ~ Exp(beta) and joins the center
+// maximizing delta_u - dist(u, v). Cut probability per edge <= beta ... the
+// classic analysis gives E[cut] <= eps|E| and radius O(log n / beta) w.h.p.
+MpxResult mpx_ldd(const graph::Graph& g, double eps, std::mt19937_64& rng);
+
+// The same construction executed as a CONGEST algorithm (discrete integer
+// shifts): vertex v wakes at round max_shift - delta_v and floods its
+// claim; claims propagate one hop per round carrying (owner id), so the
+// whole decomposition takes max_shift + eccentricity rounds — the
+// O(log n / eps) the paper's Theorem 1.5 improves on for minor-free inputs.
+struct DistributedMpxResult {
+  MpxResult clustering;
+  std::int64_t rounds = 0;
+};
+DistributedMpxResult mpx_ldd_distributed(const graph::Graph& g, double eps,
+                                         std::uint64_t seed);
+
+}  // namespace ecd::baselines

@@ -1,0 +1,34 @@
+#include "src/baselines/pivot_correlation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ecd::baselines {
+
+using graph::Graph;
+using graph::VertexId;
+
+seq::Clustering pivot_correlation(const Graph& g, std::mt19937_64& rng) {
+  const int n = g.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  seq::Clustering labels(n, -1);
+  int next = 0;
+  for (VertexId pivot : order) {
+    if (labels[pivot] != -1) continue;
+    const int label = next++;
+    labels[pivot] = label;
+    const auto nbrs = g.neighbors(pivot);
+    const auto eids = g.incident_edges(pivot);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const bool positive =
+          !g.is_signed() || g.sign(eids[i]) == graph::EdgeSign::kPositive;
+      if (positive && labels[nbrs[i]] == -1) labels[nbrs[i]] = label;
+    }
+  }
+  return labels;
+}
+
+}  // namespace ecd::baselines

@@ -1,0 +1,17 @@
+// KwikCluster / Pivot correlation clustering (Ailon–Charikar–Newman): the
+// classical randomized baseline. Its guarantee is a 3-approximation for
+// disagreement *minimization*; for the paper's agreement-maximization
+// objective it is only a heuristic — exactly the gap Theorem 1.3 closes.
+#pragma once
+
+#include <random>
+
+#include "src/graph/graph.h"
+#include "src/seq/correlation.h"
+
+namespace ecd::baselines {
+
+seq::Clustering pivot_correlation(const graph::Graph& g,
+                                  std::mt19937_64& rng);
+
+}  // namespace ecd::baselines

@@ -1,0 +1,24 @@
+// Messages in the CONGEST model.
+//
+// The model allows O(log n) bits per edge per round. We quantize: a Message
+// is at most kMaxMessageWords machine words (a "word" stands for an O(log n)
+// bit field such as a vertex id, an edge id, or a small counter), and the
+// network enforces a per-round, per-direction token budget on every edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ecd::congest {
+
+// Four payload fields plus one routing header (token id) — still O(log n)
+// bits total.
+inline constexpr int kMaxMessageWords = 5;
+
+struct Message {
+  std::vector<std::int64_t> words;
+
+  int size_words() const { return static_cast<int>(words.size()); }
+};
+
+}  // namespace ecd::congest

@@ -1,0 +1,117 @@
+#include "src/congest/network.h"
+
+#include <utility>
+
+namespace ecd::congest {
+
+using graph::Graph;
+using graph::VertexId;
+
+void Context::send(int port, Message message) {
+  if (port < 0 || port >= num_ports()) {
+    throw std::out_of_range("send: bad port");
+  }
+  if (options_->enforce_bandwidth) {
+    if (message.size_words() > kMaxMessageWords) {
+      throw CongestionError("message exceeds O(log n) bits");
+    }
+    if (static_cast<int>(outbox_[port].size()) >= options_->bandwidth_tokens) {
+      throw CongestionError("per-edge per-round bandwidth exceeded");
+    }
+  }
+  outbox_[port].push_back(std::move(message));
+}
+
+Network::Network(const Graph& g, NetworkOptions options)
+    : g_(g), options_(options) {}
+
+RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
+  const int n = g_.num_vertices();
+  if (static_cast<int>(algorithms.size()) != n) {
+    throw std::invalid_argument("need one algorithm per vertex");
+  }
+  // Port map: for vertex v, port i corresponds to neighbor g.neighbors(v)[i].
+  // reverse_port[v][i] = the port index of v in that neighbor's list.
+  std::vector<std::vector<int>> reverse_port(n);
+  {
+    std::vector<int> cursor(n, 0);
+    // For edge e = {u, v}: u's port for e is its position in u's incident
+    // list, likewise for v; walk incident lists once to pair them up.
+    std::vector<std::pair<int, int>> edge_ports(g_.num_edges(), {-1, -1});
+    for (VertexId v = 0; v < n; ++v) {
+      const auto eids = g_.incident_edges(v);
+      reverse_port[v].assign(eids.size(), -1);
+      for (int i = 0; i < static_cast<int>(eids.size()); ++i) {
+        auto& [p_u, p_v] = edge_ports[eids[i]];
+        if (g_.edge(eids[i]).u == v) {
+          p_u = i;
+        } else {
+          p_v = i;
+        }
+      }
+    }
+    for (graph::EdgeId e = 0; e < g_.num_edges(); ++e) {
+      const auto [p_u, p_v] = edge_ports[e];
+      const graph::Edge ed = g_.edge(e);
+      reverse_port[ed.u][p_u] = p_v;
+      reverse_port[ed.v][p_v] = p_u;
+    }
+  }
+
+  std::vector<Context> contexts(n);
+  for (VertexId v = 0; v < n; ++v) {
+    Context& ctx = contexts[v];
+    ctx.id_ = v;
+    ctx.n_ = n;
+    ctx.options_ = &options_;
+    const auto nbrs = g_.neighbors(v);
+    ctx.neighbors_.assign(nbrs.begin(), nbrs.end());
+    ctx.inbox_.resize(nbrs.size());
+    ctx.outbox_.resize(nbrs.size());
+  }
+
+  RunStats stats;
+  for (std::int64_t r = 0;; ++r) {
+    if (r > options_.max_rounds) {
+      throw std::runtime_error("network: max_rounds exceeded");
+    }
+    bool all_done = true;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!algorithms[v]->finished()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      stats.rounds = r;
+      return stats;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      contexts[v].round_ = r;
+      algorithms[v]->round(contexts[v]);
+    }
+    // Deliver: move outboxes into the neighbors' inboxes.
+    for (VertexId v = 0; v < n; ++v) {
+      for (auto& box : contexts[v].inbox_) box.clear();
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      Context& ctx = contexts[v];
+      for (int port = 0; port < ctx.num_ports(); ++port) {
+        auto& out = ctx.outbox_[port];
+        if (out.empty()) continue;
+        stats.max_edge_load =
+            std::max(stats.max_edge_load, static_cast<int>(out.size()));
+        const VertexId u = ctx.neighbors_[port];
+        const int back = reverse_port[v][port];
+        for (Message& msg : out) {
+          stats.messages_sent += 1;
+          stats.words_sent += msg.size_words();
+          contexts[u].inbox_[back].push_back(std::move(msg));
+        }
+        out.clear();
+      }
+    }
+  }
+}
+
+}  // namespace ecd::congest

@@ -1,0 +1,100 @@
+// Synchronous message-passing simulator for the CONGEST model.
+//
+// Vertices host VertexAlgorithm instances and proceed in synchronized
+// rounds (§1 of the paper): every round each vertex reads the messages
+// delivered on its ports, computes locally, and emits at most
+// `bandwidth_tokens` messages of at most kMaxMessageWords words per
+// incident edge direction. Violations throw CongestionError — the test
+// suite uses this to prove the framework's algorithms really fit CONGEST.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/congest/message.h"
+#include "src/graph/graph.h"
+
+namespace ecd::congest {
+
+class CongestionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct NetworkOptions {
+  // Messages allowed per directed edge per round.
+  int bandwidth_tokens = 1;
+  // Hard stop; exceeding it throws (an algorithm failed to terminate).
+  std::int64_t max_rounds = 2'000'000;
+  // When false, message sizes and token budgets are unbounded — the LOCAL
+  // model. Used by baselines to exhibit the LOCAL–CONGEST gap.
+  bool enforce_bandwidth = true;
+};
+
+struct RunStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages_sent = 0;
+  std::int64_t words_sent = 0;
+  // Highest number of messages a single directed edge carried in one round
+  // (== bandwidth_tokens unless enforcement is off).
+  int max_edge_load = 0;
+};
+
+// Per-vertex view of the network. Ports are indices into the vertex's
+// incident edge list, aligned with Graph::neighbors(v).
+class Context {
+ public:
+  graph::VertexId id() const { return id_; }
+  int num_ports() const { return static_cast<int>(inbox_.size()); }
+  // CONGEST standard assumption: a vertex knows its neighbors' ids.
+  graph::VertexId neighbor(int port) const { return neighbors_[port]; }
+  std::int64_t round() const { return round_; }
+  int num_network_vertices() const { return n_; }
+
+  // Messages delivered on `port` at the start of this round.
+  const std::vector<Message>& inbox(int port) const { return inbox_[port]; }
+
+  // Queues a message on `port`; delivered next round. Throws
+  // CongestionError if the per-edge budget or message size is exceeded.
+  void send(int port, Message message);
+
+ private:
+  friend class Network;
+  graph::VertexId id_ = graph::kInvalidVertex;
+  int n_ = 0;
+  std::int64_t round_ = 0;
+  const NetworkOptions* options_ = nullptr;
+  std::vector<graph::VertexId> neighbors_;
+  std::vector<std::vector<Message>> inbox_;
+  std::vector<std::vector<Message>> outbox_;
+};
+
+class VertexAlgorithm {
+ public:
+  virtual ~VertexAlgorithm() = default;
+  // Round 0 happens before any message exchange.
+  virtual void round(Context& ctx) = 0;
+  // The network stops when every vertex reports finished. A finished vertex
+  // keeps receiving rounds (messages may still arrive) but typically no-ops.
+  virtual bool finished() const = 0;
+};
+
+class Network {
+ public:
+  Network(const graph::Graph& g, NetworkOptions options = {});
+
+  // Runs `algorithms` (one per vertex) to completion. Returns round and
+  // message statistics. Throws if max_rounds is exceeded.
+  RunStats run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms);
+
+  const graph::Graph& graph() const { return g_; }
+
+ private:
+  const graph::Graph& g_;
+  NetworkOptions options_;
+};
+
+}  // namespace ecd::congest

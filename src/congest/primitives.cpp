@@ -1,0 +1,783 @@
+#include "src/congest/primitives.h"
+
+#include <algorithm>
+#include <deque>
+#include <random>
+
+namespace ecd::congest {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::kInvalidVertex;
+using graph::VertexId;
+
+namespace {
+
+// Ports of v whose neighbor lies in the same cluster.
+std::vector<std::vector<int>> intra_cluster_ports(
+    const Graph& g, const std::vector<int>& cluster_of) {
+  std::vector<std::vector<int>> ports(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (int p = 0; p < static_cast<int>(nbrs.size()); ++p) {
+      if (cluster_of[nbrs[p]] == cluster_of[v]) ports[v].push_back(p);
+    }
+  }
+  return ports;
+}
+
+// --- Leader election ----------------------------------------------------------
+
+class LeaderElectionAlgo final : public VertexAlgorithm {
+ public:
+  LeaderElectionAlgo(const std::vector<int>* intra, int intra_degree)
+      : intra_(intra), intra_degree_(intra_degree) {}
+
+  void round(Context& ctx) override {
+    started_ = true;
+    bool changed = false;
+    if (ctx.round() == 0) {
+      best_ = {intra_degree_, ctx.id()};
+      changed = true;
+    }
+    for (int p : *intra_) {
+      for (const Message& m : ctx.inbox(p)) {
+        const std::pair<std::int64_t, std::int64_t> cand{m.words[0],
+                                                         m.words[1]};
+        if (cand > best_) {
+          best_ = cand;
+          changed = true;
+        }
+      }
+    }
+    sent_ = changed;
+    if (changed) {
+      for (int p : *intra_) ctx.send(p, {{best_.first, best_.second}});
+    }
+  }
+
+  bool finished() const override { return started_ && !sent_; }
+
+  VertexId leader() const { return static_cast<VertexId>(best_.second); }
+
+ private:
+  const std::vector<int>* intra_;
+  int intra_degree_;
+  std::pair<std::int64_t, std::int64_t> best_{-1, -1};
+  bool started_ = false;
+  bool sent_ = false;
+};
+
+// --- BFS tree -------------------------------------------------------------------
+
+class BfsAlgo final : public VertexAlgorithm {
+ public:
+  BfsAlgo(const std::vector<int>* intra, bool is_root)
+      : intra_(intra), is_root_(is_root) {}
+
+  void round(Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    if (ctx.round() == 0 && is_root_) {
+      depth_ = 0;
+      announce(ctx);
+      return;
+    }
+    if (depth_ != -1) return;
+    int best_depth = -1;
+    VertexId best_parent = kInvalidVertex;
+    for (int p : *intra_) {
+      for (const Message& m : ctx.inbox(p)) {
+        const int d = static_cast<int>(m.words[0]);
+        const VertexId sender = ctx.neighbor(p);
+        if (best_depth == -1 || d < best_depth ||
+            (d == best_depth && sender < best_parent)) {
+          best_depth = d;
+          best_parent = sender;
+        }
+      }
+    }
+    if (best_depth != -1) {
+      depth_ = best_depth + 1;
+      parent_ = best_parent;
+      announce(ctx);
+    }
+  }
+
+  bool finished() const override { return started_ && !sent_; }
+
+  int depth() const { return depth_; }
+  VertexId parent() const { return parent_; }
+
+ private:
+  void announce(Context& ctx) {
+    sent_ = true;
+    for (int p : *intra_) ctx.send(p, {{depth_}});
+  }
+
+  const std::vector<int>* intra_;
+  bool is_root_;
+  bool started_ = false;
+  bool sent_ = false;
+  int depth_ = -1;
+  VertexId parent_ = kInvalidVertex;
+};
+
+// --- Barenboim–Elkin peeling orientation ----------------------------------------
+
+class PeelAlgo final : public VertexAlgorithm {
+ public:
+  PeelAlgo(const std::vector<int>* intra, int threshold)
+      : intra_(intra), threshold_(threshold) {}
+
+  void round(Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    if (ctx.round() == 0) {
+      for (int p : *intra_) alive_port_.push_back(p);
+    }
+    // Process peel announcements from the previous round.
+    std::vector<int> simultaneous;  // ports whose neighbor peeled with us
+    for (auto it = alive_port_.begin(); it != alive_port_.end();) {
+      const int p = *it;
+      if (!ctx.inbox(p).empty()) {
+        if (peel_round_ != -1 &&
+            ctx.inbox(p)[0].words[0] == peel_round_) {
+          simultaneous.push_back(p);
+        }
+        it = alive_port_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (peel_round_ != -1 && !claimed_) {
+      // Finalize ownership one round after peeling: we own edges to
+      // neighbors that were still alive from our view, except simultaneous
+      // peelers with a smaller id.
+      claimed_ = true;
+      for (int p : tentative_ports_) {
+        const bool simultaneous_peer =
+            std::find(simultaneous.begin(), simultaneous.end(), p) !=
+            simultaneous.end();
+        if (!simultaneous_peer || ctx.id() < ctx.neighbor(p)) {
+          owned_ports_.push_back(p);
+        }
+      }
+      return;
+    }
+    if (peel_round_ == -1 &&
+        static_cast<int>(alive_port_.size()) <= threshold_) {
+      peel_round_ = ctx.round();
+      tentative_ports_ = alive_port_;
+      sent_ = true;
+      for (int p : alive_port_) ctx.send(p, {{peel_round_}});
+    }
+  }
+
+  bool finished() const override { return started_ && claimed_ && !sent_; }
+
+  const std::vector<int>& owned_ports() const { return owned_ports_; }
+  std::int64_t peel_round() const { return peel_round_; }
+
+ private:
+  const std::vector<int>* intra_;
+  int threshold_;
+  bool started_ = false;
+  bool sent_ = false;
+  bool claimed_ = false;
+  std::int64_t peel_round_ = -1;
+  std::vector<int> alive_port_;
+  std::vector<int> tentative_ports_;
+  std::vector<int> owned_ports_;
+};
+
+// --- Random-walk gather -----------------------------------------------------------
+
+class WalkAlgo final : public VertexAlgorithm {
+ public:
+  struct Token {
+    std::int64_t id = -1;
+    std::vector<std::int64_t> payload;
+  };
+
+  WalkAlgo(const std::vector<int>* intra, bool is_leader,
+           std::vector<Token> initial_tokens, std::uint64_t seed,
+           int bandwidth, std::vector<TokenTrace>* traces)
+      : intra_(intra),
+        is_leader_(is_leader),
+        rng_(seed),
+        bandwidth_(bandwidth),
+        traces_(traces) {
+    for (auto& t : initial_tokens) held_.push_back(std::move(t));
+  }
+
+  void round(Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    for (int p : *intra_) {
+      for (const Message& m : ctx.inbox(p)) {
+        Token t;
+        t.id = m.words[0];
+        t.payload.assign(m.words.begin() + 1, m.words.end());
+        held_.push_back(std::move(t));
+      }
+    }
+    if (is_leader_) {
+      for (auto& t : held_) absorbed_.push_back(std::move(t));
+      held_.clear();
+      return;
+    }
+    if (held_.empty() || intra_->empty()) return;
+    // Lazy step per token, subject to the per-edge budget; blocked tokens
+    // simply retry next round.
+    std::vector<int> port_load(intra_->size(), 0);
+    std::uniform_int_distribution<std::size_t> pick(0, intra_->size() - 1);
+    std::bernoulli_distribution lazy(0.5);
+    std::deque<Token> keep;
+    while (!held_.empty()) {
+      Token t = std::move(held_.front());
+      held_.pop_front();
+      if (lazy(rng_)) {
+        keep.push_back(std::move(t));
+        continue;
+      }
+      const std::size_t i = pick(rng_);
+      if (port_load[i] >= bandwidth_) {
+        keep.push_back(std::move(t));
+        continue;
+      }
+      ++port_load[i];
+      sent_ = true;
+      // Local bookkeeping for the reversed delivery (§2.2): the trace
+      // records which way the token went and when.
+      TokenTrace& trace = (*traces_)[t.id];
+      trace.visited.push_back(ctx.neighbor((*intra_)[i]));
+      trace.hop_round.push_back(ctx.round());
+      Message m;
+      m.words.reserve(t.payload.size() + 1);
+      m.words.push_back(t.id);
+      m.words.insert(m.words.end(), t.payload.begin(), t.payload.end());
+      ctx.send((*intra_)[i], std::move(m));
+    }
+    held_ = std::move(keep);
+  }
+
+  bool finished() const override {
+    return started_ && held_.empty() && !sent_;
+  }
+
+  std::vector<Token>& absorbed() { return absorbed_; }
+
+ private:
+  const std::vector<int>* intra_;
+  bool is_leader_;
+  std::mt19937_64 rng_;
+  int bandwidth_;
+  std::vector<TokenTrace>* traces_;
+  bool started_ = false;
+  bool sent_ = false;
+  std::deque<Token> held_;
+  std::vector<Token> absorbed_;
+};
+
+// --- Deterministic tree gather ---------------------------------------------------
+
+class TreeClimbAlgo final : public VertexAlgorithm {
+ public:
+  TreeClimbAlgo(bool is_leader, int parent_port,
+                std::vector<std::vector<std::int64_t>> initial, int bandwidth)
+      : is_leader_(is_leader), parent_port_(parent_port), bandwidth_(bandwidth) {
+    for (auto& p : initial) held_.push_back(std::move(p));
+  }
+
+  void round(Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      for (const Message& m : ctx.inbox(p)) held_.push_back(m.words);
+    }
+    if (is_leader_) {
+      for (auto& t : held_) absorbed_.push_back(std::move(t));
+      held_.clear();
+      return;
+    }
+    if (parent_port_ < 0) return;  // orphan (singleton handled as leader)
+    int budget = bandwidth_;
+    while (!held_.empty() && budget-- > 0) {
+      sent_ = true;
+      ctx.send(parent_port_, {std::move(held_.front())});
+      held_.pop_front();
+    }
+  }
+
+  bool finished() const override { return started_ && held_.empty() && !sent_; }
+  std::vector<std::vector<std::int64_t>>& absorbed() { return absorbed_; }
+
+ private:
+  bool is_leader_;
+  int parent_port_;
+  int bandwidth_;
+  bool started_ = false;
+  bool sent_ = false;
+  std::deque<std::vector<std::int64_t>> held_;
+  std::vector<std::vector<std::int64_t>> absorbed_;
+};
+
+// --- Convergecast -----------------------------------------------------------------
+
+class ConvergecastAlgo final : public VertexAlgorithm {
+ public:
+  ConvergecastAlgo(bool is_root, int parent_port, std::int64_t value,
+                   Fold fold)
+      : is_root_(is_root), parent_port_(parent_port), total_(value),
+        fold_(fold) {}
+
+  void round(Context& ctx) override {
+    if (done_) return;
+    if (ctx.round() == 0) {
+      if (!is_root_ && parent_port_ >= 0) {
+        ctx.send(parent_port_, {{kTagChild}});
+      }
+      return;
+    }
+    if (ctx.round() == 1) {
+      for (int p = 0; p < ctx.num_ports(); ++p) {
+        for (const Message& m : ctx.inbox(p)) {
+          if (m.words[0] == kTagChild) ++expected_children_;
+        }
+      }
+    } else {
+      for (int p = 0; p < ctx.num_ports(); ++p) {
+        for (const Message& m : ctx.inbox(p)) {
+          if (m.words[0] == kTagSum) {
+            switch (fold_) {
+              case Fold::kSum: total_ += m.words[1]; break;
+              case Fold::kMin: total_ = std::min(total_, m.words[1]); break;
+              case Fold::kMax: total_ = std::max(total_, m.words[1]); break;
+            }
+            ++received_children_;
+          }
+        }
+      }
+    }
+    if (received_children_ == expected_children_) {
+      if (!is_root_ && parent_port_ >= 0) {
+        ctx.send(parent_port_, {{kTagSum, total_}});
+      }
+      done_ = true;
+    }
+  }
+
+  bool finished() const override { return done_; }
+  std::int64_t total() const { return total_; }
+
+ private:
+  static constexpr std::int64_t kTagChild = 0;
+  static constexpr std::int64_t kTagSum = 1;
+  bool is_root_;
+  int parent_port_;
+  std::int64_t total_;
+  Fold fold_;
+  int expected_children_ = 0;
+  int received_children_ = 0;
+  bool done_ = false;
+};
+
+// --- Value flood --------------------------------------------------------------------
+
+class FloodAlgo final : public VertexAlgorithm {
+ public:
+  FloodAlgo(const std::vector<int>* intra, bool is_source, std::int64_t value)
+      : intra_(intra), value_(is_source ? value : -1) {}
+
+  void round(Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    if (ctx.round() == 0) {
+      if (value_ != -1) forward(ctx);
+      return;
+    }
+    if (value_ != -1) return;
+    for (int p : *intra_) {
+      if (!ctx.inbox(p).empty()) {
+        value_ = ctx.inbox(p)[0].words[0];
+        forward(ctx);
+        return;
+      }
+    }
+  }
+
+  bool finished() const override { return started_ && !sent_; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  void forward(Context& ctx) {
+    sent_ = true;
+    for (int p : *intra_) ctx.send(p, {{value_}});
+  }
+
+  const std::vector<int>* intra_;
+  std::int64_t value_;
+  bool started_ = false;
+  bool sent_ = false;
+};
+
+// --- Diameter self-check ---------------------------------------------------------------
+
+class DiameterCheckAlgo final : public VertexAlgorithm {
+ public:
+  DiameterCheckAlgo(const std::vector<int>* intra, int bound)
+      : intra_(intra), bound_(bound) {}
+
+  void round(Context& ctx) override {
+    const std::int64_t r = ctx.round();
+    if (r == 0) max_id_ = ctx.id();
+    if (r < bound_) {
+      // Flood phase: absorb neighbors' maxima, forward ours.
+      for (int p : *intra_) {
+        for (const Message& m : ctx.inbox(p)) {
+          max_id_ = std::max(max_id_, m.words[0]);
+        }
+      }
+      for (int p : *intra_) ctx.send(p, {{max_id_}});
+    } else if (r == bound_) {
+      // Final absorb, then exchange the settled value for comparison.
+      for (int p : *intra_) {
+        for (const Message& m : ctx.inbox(p)) {
+          max_id_ = std::max(max_id_, m.words[0]);
+        }
+      }
+      for (int p : *intra_) ctx.send(p, {{max_id_}});
+    } else if (r == bound_ + 1) {
+      for (int p : *intra_) {
+        for (const Message& m : ctx.inbox(p)) {
+          if (m.words[0] != max_id_) marked_ = true;
+        }
+      }
+      for (int p : *intra_) ctx.send(p, {{marked_ ? 1 : 0}});
+    } else if (r <= bound_ + 2 + 2 * bound_) {
+      for (int p : *intra_) {
+        for (const Message& m : ctx.inbox(p)) {
+          if (m.words[0] == 1) marked_ = true;
+        }
+      }
+      for (int p : *intra_) ctx.send(p, {{marked_ ? 1 : 0}});
+      if (r == bound_ + 2 + 2 * bound_) done_ = true;
+    } else {
+      done_ = true;
+    }
+  }
+
+  bool finished() const override { return done_; }
+  bool marked() const { return marked_; }
+
+ private:
+  const std::vector<int>* intra_;
+  int bound_;
+  std::int64_t max_id_ = -1;
+  bool marked_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+LeaderElectionResult elect_cluster_leaders(const Graph& g,
+                                           const std::vector<int>& cluster_of,
+                                           const NetworkOptions& net) {
+  const auto intra = intra_cluster_ports(g, cluster_of);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.reserve(g.num_vertices());
+  std::vector<LeaderElectionAlgo*> typed(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = std::make_unique<LeaderElectionAlgo>(
+        &intra[v], static_cast<int>(intra[v].size()));
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  Network network(g, net);
+  LeaderElectionResult result;
+  result.stats = network.run(algos);
+  result.leader_of.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    result.leader_of[v] = typed[v]->leader();
+  }
+  return result;
+}
+
+BfsTreeResult build_cluster_bfs_trees(const Graph& g,
+                                      const std::vector<int>& cluster_of,
+                                      const std::vector<VertexId>& leader_of,
+                                      const NetworkOptions& net) {
+  const auto intra = intra_cluster_ports(g, cluster_of);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  std::vector<BfsAlgo*> typed(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = std::make_unique<BfsAlgo>(&intra[v], leader_of[v] == v);
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  Network network(g, net);
+  BfsTreeResult result;
+  result.stats = network.run(algos);
+  result.parent.resize(g.num_vertices());
+  result.depth.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    result.parent[v] = typed[v]->parent();
+    result.depth[v] = typed[v]->depth();
+    result.max_depth = std::max(result.max_depth, result.depth[v]);
+  }
+  return result;
+}
+
+OrientationResult orient_cluster_edges(const Graph& g,
+                                       const std::vector<int>& cluster_of,
+                                       int peel_threshold,
+                                       const NetworkOptions& net) {
+  const auto intra = intra_cluster_ports(g, cluster_of);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  std::vector<PeelAlgo*> typed(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = std::make_unique<PeelAlgo>(&intra[v], peel_threshold);
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  Network network(g, net);
+  OrientationResult result;
+  result.stats = network.run(algos);
+  result.owned.resize(g.num_vertices());
+  std::int64_t max_phase = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto eids = g.incident_edges(v);
+    for (int port : typed[v]->owned_ports()) {
+      result.owned[v].push_back(eids[port]);
+    }
+    result.max_out_degree = std::max(
+        result.max_out_degree, static_cast<int>(result.owned[v].size()));
+    max_phase = std::max(max_phase, typed[v]->peel_round());
+  }
+  result.peeling_phases = static_cast<int>(max_phase) + 1;
+  return result;
+}
+
+GatherResult random_walk_gather(const Graph& g,
+                                const std::vector<int>& cluster_of,
+                                const std::vector<VertexId>& leader_of,
+                                const std::vector<std::vector<GatherToken>>& tokens,
+                                const GatherOptions& options) {
+  const auto intra = intra_cluster_ports(g, cluster_of);
+  GatherResult result;
+  std::int64_t expected = 0;
+  for (const auto& list : tokens) expected += static_cast<std::int64_t>(list.size());
+  result.traces.reserve(expected);
+
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  std::vector<WalkAlgo*> typed(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<WalkAlgo::Token> initial;
+    for (const GatherToken& t : tokens[v]) {
+      WalkAlgo::Token tok;
+      tok.id = static_cast<std::int64_t>(result.traces.size());
+      tok.payload = t.payload;
+      initial.push_back(std::move(tok));
+      TokenTrace trace;
+      trace.origin = v;
+      trace.cluster = cluster_of[v];
+      trace.visited = {v};
+      result.traces.push_back(std::move(trace));
+    }
+    auto a = std::make_unique<WalkAlgo>(
+        &intra[v], leader_of[v] == v, std::move(initial),
+        options.seed ^ (0x9e3779b97f4a7c15ULL * (v + 1)),
+        options.net.bandwidth_tokens, &result.traces);
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  Network network(g, options.net);
+  result.stats = network.run(algos);
+  int num_clusters = 0;
+  for (int c : cluster_of) num_clusters = std::max(num_clusters, c + 1);
+  result.delivered.resize(num_clusters);
+  result.delivered_ids.resize(num_clusters);
+  std::int64_t received = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (leader_of[v] != v) continue;
+    auto& absorbed = typed[v]->absorbed();
+    received += static_cast<std::int64_t>(absorbed.size());
+    auto& payloads = result.delivered[cluster_of[v]];
+    auto& ids = result.delivered_ids[cluster_of[v]];
+    for (auto& t : absorbed) {
+      ids.push_back(t.id);
+      payloads.push_back(std::move(t.payload));
+    }
+  }
+  result.complete = (received == expected);
+  return result;
+}
+
+ReverseDeliveryResult reverse_delivery(
+    int num_vertices, const GatherResult& gather,
+    const std::vector<std::vector<std::int64_t>>& reply, int bandwidth) {
+  ReverseDeliveryResult result;
+  result.received.resize(num_vertices);
+  const std::int64_t horizon = gather.stats.rounds;
+  // The hop taken at forward round r is traversed backwards at round
+  // horizon - 1 - r: strictly increasing forward times become strictly
+  // increasing reverse times along the reversed path, and the per-edge
+  // per-round load is the mirror image of the forward run.
+  std::unordered_map<std::uint64_t, int> load;
+  auto hop_key = [&](VertexId from, VertexId to, std::int64_t round) {
+    return (static_cast<std::uint64_t>(round) << 40) ^
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 20) ^
+           static_cast<std::uint32_t>(to);
+  };
+  result.load_ok = true;
+  for (std::size_t id = 0; id < gather.traces.size(); ++id) {
+    if (id >= reply.size() || reply[id].empty()) continue;  // no reply due
+    const TokenTrace& trace = gather.traces[id];
+    for (std::size_t h = 0; h < trace.hop_round.size(); ++h) {
+      const std::int64_t reverse_round = horizon - 1 - trace.hop_round[h];
+      if (reverse_round < 0) result.load_ok = false;
+      // Reverse hop: visited[h+1] -> visited[h].
+      const int l = ++load[hop_key(trace.visited[h + 1], trace.visited[h],
+                                   reverse_round)];
+      if (l > bandwidth) result.load_ok = false;
+      ++result.stats.messages_sent;
+      result.stats.words_sent +=
+          static_cast<std::int64_t>(reply[id].size()) + 1;
+      result.stats.max_edge_load = std::max(result.stats.max_edge_load, l);
+      result.stats.rounds = std::max(result.stats.rounds, reverse_round + 1);
+    }
+    result.received[trace.origin].push_back(reply[id]);
+  }
+  return result;
+}
+
+BroadcastResult broadcast_from_leaders(const Graph& g,
+                                       const std::vector<int>& cluster_of,
+                                       const std::vector<VertexId>& leader_of,
+                                       const std::vector<std::int64_t>& leader_value,
+                                       const NetworkOptions& net) {
+  const auto intra = intra_cluster_ports(g, cluster_of);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  std::vector<FloodAlgo*> typed(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = std::make_unique<FloodAlgo>(&intra[v], leader_of[v] == v,
+                                         leader_value[v]);
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  Network network(g, net);
+  BroadcastResult result;
+  result.stats = network.run(algos);
+  result.value.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    result.value[v] = typed[v]->value();
+  }
+  return result;
+}
+
+TreeGatherResult tree_gather(const Graph& g,
+                             const std::vector<int>& cluster_of,
+                             const std::vector<VertexId>& leader_of,
+                             const std::vector<VertexId>& bfs_parent,
+                             const std::vector<std::vector<GatherToken>>& tokens,
+                             const NetworkOptions& net) {
+  const int n = g.num_vertices();
+  std::int64_t expected = 0;
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  std::vector<TreeClimbAlgo*> typed(n);
+  for (VertexId v = 0; v < n; ++v) {
+    int parent_port = -1;
+    if (bfs_parent[v] != kInvalidVertex) {
+      const auto nbrs = g.neighbors(v);
+      for (int p = 0; p < static_cast<int>(nbrs.size()); ++p) {
+        if (nbrs[p] == bfs_parent[v]) parent_port = p;
+      }
+    }
+    std::vector<std::vector<std::int64_t>> payloads;
+    for (const GatherToken& t : tokens[v]) {
+      payloads.push_back(t.payload);
+      ++expected;
+    }
+    auto a = std::make_unique<TreeClimbAlgo>(leader_of[v] == v, parent_port,
+                                             std::move(payloads),
+                                             net.bandwidth_tokens);
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  Network network(g, net);
+  TreeGatherResult result;
+  result.stats = network.run(algos);
+  int num_clusters = 0;
+  for (int c : cluster_of) num_clusters = std::max(num_clusters, c + 1);
+  result.delivered.resize(num_clusters);
+  std::int64_t received = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (leader_of[v] != v) continue;
+    auto& absorbed = typed[v]->absorbed();
+    received += static_cast<std::int64_t>(absorbed.size());
+    result.delivered[cluster_of[v]] = std::move(absorbed);
+  }
+  result.complete = (received == expected);
+  return result;
+}
+
+ConvergecastResult convergecast_fold(const Graph& g,
+                                     const std::vector<int>& cluster_of,
+                                     const std::vector<VertexId>& leader_of,
+                                     const std::vector<VertexId>& bfs_parent,
+                                     const std::vector<int>& depth,
+                                     const std::vector<std::int64_t>& value,
+                                     Fold fold, const NetworkOptions& net) {
+  (void)depth;  // the child-announcement protocol needs no depth knowledge
+  const int n = g.num_vertices();
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  std::vector<ConvergecastAlgo*> typed(n);
+  for (VertexId v = 0; v < n; ++v) {
+    int parent_port = -1;
+    if (bfs_parent[v] != kInvalidVertex) {
+      const auto nbrs = g.neighbors(v);
+      for (int p = 0; p < static_cast<int>(nbrs.size()); ++p) {
+        if (nbrs[p] == bfs_parent[v]) parent_port = p;
+      }
+    }
+    auto a = std::make_unique<ConvergecastAlgo>(leader_of[v] == v, parent_port,
+                                                value[v], fold);
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  Network network(g, net);
+  ConvergecastResult result;
+  result.stats = network.run(algos);
+  int num_clusters = 0;
+  for (int c : cluster_of) num_clusters = std::max(num_clusters, c + 1);
+  result.sum.assign(num_clusters, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (leader_of[v] == v) result.sum[cluster_of[v]] = typed[v]->total();
+  }
+  return result;
+}
+
+DiameterCheckResult check_cluster_diameter(const Graph& g,
+                                           const std::vector<int>& cluster_of,
+                                           int bound,
+                                           const NetworkOptions& net) {
+  const auto intra = intra_cluster_ports(g, cluster_of);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  std::vector<DiameterCheckAlgo*> typed(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = std::make_unique<DiameterCheckAlgo>(&intra[v], bound);
+    typed[v] = a.get();
+    algos.push_back(std::move(a));
+  }
+  Network network(g, net);
+  DiameterCheckResult result;
+  result.stats = network.run(algos);
+  result.within_bound.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    result.within_bound[v] = !typed[v]->marked();
+  }
+  return result;
+}
+
+}  // namespace ecd::congest

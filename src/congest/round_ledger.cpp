@@ -1,0 +1,62 @@
+#include "src/congest/round_ledger.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ecd::congest {
+
+void RoundLedger::add_measured(std::string label, std::int64_t rounds) {
+  entries_.push_back({std::move(label), rounds, true});
+}
+
+void RoundLedger::add_modeled(std::string label, std::int64_t rounds) {
+  entries_.push_back({std::move(label), rounds, false});
+}
+
+void RoundLedger::merge(const RoundLedger& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+std::int64_t RoundLedger::measured_total() const {
+  std::int64_t sum = 0;
+  for (const auto& e : entries_) {
+    if (e.measured) sum += e.rounds;
+  }
+  return sum;
+}
+
+std::int64_t RoundLedger::modeled_total() const {
+  std::int64_t sum = 0;
+  for (const auto& e : entries_) {
+    if (!e.measured) sum += e.rounds;
+  }
+  return sum;
+}
+
+std::string RoundLedger::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << (e.measured ? "[measured] " : "[modeled]  ") << e.label << ": "
+       << e.rounds << "\n";
+  }
+  os << "total measured=" << measured_total()
+     << " modeled=" << modeled_total() << "\n";
+  return os.str();
+}
+
+std::int64_t modeled_decomposition_rounds(int n, double eps,
+                                          bool deterministic) {
+  const double logn = std::log2(std::max(2, n));
+  if (!deterministic) {
+    // Thm 2.1 instantiation: O(eps^{-2} log^4 n).
+    return static_cast<std::int64_t>(std::ceil(logn * logn * logn * logn /
+                                               (eps * eps)));
+  }
+  // Thm 2.2 instantiation: O(eps^{-2} 2^{2 sqrt(log n log log n)}).
+  const double exponent = 2.0 * std::sqrt(logn * std::log2(std::max(2.0, logn)));
+  return static_cast<std::int64_t>(
+      std::ceil(std::pow(2.0, exponent) / (eps * eps)));
+}
+
+}  // namespace ecd::congest

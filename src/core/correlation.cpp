@@ -1,0 +1,43 @@
+#include "src/core/correlation.h"
+
+namespace ecd::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+CorrelationApproxResult correlation_approx(
+    const Graph& g, double eps, const CorrelationApproxOptions& options) {
+  const double eps_prime = eps / 2.0;  // γ(G) >= |E|/2
+  FrameworkOptions fopt = options.framework;
+  fopt.density_bound = 1;  // the ε/2 analysis is stated against |E| directly
+  Partition partition = partition_and_gather(g, eps_prime, fopt);
+
+  CorrelationApproxResult result;
+  result.num_clusters = static_cast<int>(partition.clusters.size());
+  result.clustering.assign(g.num_vertices(), -1);
+  int label_base = 0;
+  for (const Cluster& cluster : partition.clusters) {
+    const auto local = seq::best_effort_correlation(cluster.subgraph.graph,
+                                                    options.exact_threshold);
+    result.clusters_exact += local.exact;
+    int max_label = 0;
+    for (int i = 0; i < static_cast<int>(local.clustering.size()); ++i) {
+      result.clustering[cluster.subgraph.to_parent[i]] =
+          label_base + local.clustering[i];
+      max_label = std::max(max_label, local.clustering[i]);
+    }
+    label_base += max_label + 1;
+  }
+  {
+    std::vector<std::int64_t> words(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      words[v] = result.clustering[v];
+    }
+    return_results(partition, words, "result return (reversed walks)");
+  }
+  result.score = seq::agreement_score(g, result.clustering);
+  result.ledger = std::move(partition.ledger);
+  return result;
+}
+
+}  // namespace ecd::core

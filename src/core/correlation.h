@@ -1,0 +1,34 @@
+// (1-ε)-approximate agreement-maximization correlation clustering
+// (Theorem 1.3, §3.3).
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/framework.h"
+#include "src/graph/graph.h"
+#include "src/seq/correlation.h"
+
+namespace ecd::core {
+
+struct CorrelationApproxOptions {
+  FrameworkOptions framework;
+  // Clusters up to this size are solved exactly by subset DP.
+  int exact_threshold = 15;
+};
+
+struct CorrelationApproxResult {
+  seq::Clustering clustering;  // distinct labels across framework clusters
+  std::int64_t score = 0;
+  int clusters_exact = 0;
+  int num_clusters = 0;
+  congest::RoundLedger ledger;
+};
+
+// §3.3: partition with ε' = ε/2 (γ(G) >= |E|/2 for connected G); leaders
+// solve their clusters; the union of the per-cluster clusterings is
+// returned (inter-cluster pairs are automatically separated).
+CorrelationApproxResult correlation_approx(
+    const graph::Graph& g, double eps,
+    const CorrelationApproxOptions& options = {});
+
+}  // namespace ecd::core

@@ -1,0 +1,103 @@
+// The paper's framework (Theorem 2.6).
+//
+// partition_and_gather() performs the full pipeline on an H-minor-free
+// network G:
+//   1. (ε', φ) expander decomposition with ε' = ε / t, t the edge-density
+//      bound of the graph class, so inter-cluster edges <= ε·min{|V|,|E|}
+//      (construction rounds are *modeled*, see DESIGN.md);
+//   2. leader election by max (cluster-degree, id) flooding (measured);
+//   3. Barenboim–Elkin low-out-degree orientation (measured);
+//   4. topology gathering: one token per oriented edge rides lazy random
+//      walks to the leader (Lemma 2.4; measured);
+//   5. leader-side reconstruction of G[V_i] from the delivered tokens.
+//
+// Applications then run any sequential algorithm on each reconstructed
+// cluster and return per-vertex answers along the reversed walk schedule
+// (same measured round count as the forward gather).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/congest/primitives.h"
+#include "src/congest/round_ledger.h"
+#include "src/expander/decomposition.h"
+#include "src/graph/graph.h"
+#include "src/graph/subgraph.h"
+
+namespace ecd::core {
+
+// How the expander decomposition is constructed and accounted.
+enum class DecompositionMode {
+  // Host-side spectral construction; rounds charged by the Thm 2.1/2.2
+  // formula (a *modeled* ledger entry). Default: fast, contract-identical.
+  kModeled,
+  // Fully distributed construction (distributed power iteration + histogram
+  // sweep, src/expander/distributed_decomposition.h); every round executes
+  // on the simulator and enters the ledger as *measured*.
+  kDistributed,
+};
+
+struct FrameworkOptions {
+  expander::DecompositionOptions decomposition;
+  DecompositionMode decomposition_mode = DecompositionMode::kModeled;
+  // Tokens per edge per round for the walk phase; 0 = ceil(log2 n), the
+  // batch size Lemma 2.4's O(log n)-messages-per-edge argument allows.
+  int walk_bandwidth = 0;
+  std::uint64_t seed = 1;
+  bool deterministic = false;
+  // Divide ε by the graph-class density bound t (Theorem 2.6's ε' = ε/t).
+  // When 0 the bound is taken as max(1, ceil(|E|/|V|)) of the input.
+  int density_bound = 0;
+  // Use weighted volumes in the decomposition (inter-cluster *weight*
+  // <= ε'·w(E) instead of edge count) — the §1.3 weighted-problems variant.
+  // Ignored on unweighted graphs.
+  bool weighted_volumes = false;
+};
+
+struct Cluster {
+  std::vector<graph::VertexId> members;  // parent-graph vertex ids
+  graph::VertexId leader = graph::kInvalidVertex;
+  // G[V_i] as reconstructed by the leader from gathered tokens; local
+  // vertex i corresponds to parent id subgraph.to_parent[i].
+  graph::InducedSubgraph subgraph;
+  int leader_local = -1;
+};
+
+struct Partition {
+  expander::ExpanderDecomposition decomposition;
+  std::vector<graph::VertexId> leader_of;
+  std::vector<Cluster> clusters;
+  congest::RoundLedger ledger;
+  bool gather_complete = false;
+  double eps_effective = 0.0;  // the ε' actually passed to the decomposition
+  // Forward gather traces (token paths) kept for the reversed delivery,
+  // and the id of each vertex's registration ("hello") token.
+  congest::GatherResult gather;
+  std::vector<std::int64_t> hello_token_of;
+};
+
+Partition partition_and_gather(const graph::Graph& g, double eps,
+                               const FrameworkOptions& options = {});
+
+// Returns one O(log n)-bit answer from each leader to every vertex of its
+// cluster by *executing* the reversed forward-walk schedule (§2.2, last
+// paragraph): same congestion, same round count, verified per edge.
+// Adds the measured rounds to the ledger and returns them.
+std::int64_t return_results(Partition& partition,
+                            const std::vector<std::int64_t>& per_vertex_word,
+                            const char* label);
+
+// Diagnostics for Lemma 2.3: for every cluster, deg(v*) and φ²·|V_i|.
+struct HighDegreeDiagnostic {
+  int cluster = 0;
+  int leader_degree = 0;
+  int cluster_size = 0;
+  int cluster_edges = 0;
+  double phi = 0.0;
+  double ratio = 0.0;  // deg(v*) / (φ² |V_i|)
+};
+std::vector<HighDegreeDiagnostic> high_degree_diagnostics(
+    const Partition& partition);
+
+}  // namespace ecd::core

@@ -1,0 +1,28 @@
+// Low-diameter decomposition with the optimal D = O(1/ε) (Theorem 1.5,
+// §3.5): the expander-decomposition clusters are refined by each leader
+// running a sequential minor-free LDD on its gathered topology.
+#pragma once
+
+#include "src/core/framework.h"
+#include "src/graph/graph.h"
+#include "src/seq/ldd.h"
+
+namespace ecd::core {
+
+struct LddApproxOptions {
+  FrameworkOptions framework;
+  seq::LddOptions sequential;
+};
+
+struct LddApproxResult {
+  std::vector<int> cluster_of;  // final decomposition labels
+  int num_clusters = 0;
+  int cut_edges = 0;
+  int max_diameter = 0;  // exact strong diameter over clusters
+  congest::RoundLedger ledger;
+};
+
+LddApproxResult ldd_approx(const graph::Graph& g, double eps,
+                           const LddApproxOptions& options = {});
+
+}  // namespace ecd::core

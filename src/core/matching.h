@@ -1,0 +1,43 @@
+// (1-ε)-approximate maximum cardinality matching on planar networks
+// (Theorem 3.2, §3.2), including the 2-star / 3-double-star elimination
+// preprocessing of Czygrinow–Hańćkowiak–Szymańska [27].
+#pragma once
+
+#include <vector>
+
+#include "src/core/framework.h"
+#include "src/graph/graph.h"
+#include "src/seq/matching.h"
+
+namespace ecd::core {
+
+// One pass of the token-based elimination protocol (§3.2); returns the set
+// of removed vertices. Removal never changes the maximum matching size.
+// `rounds_used` reports the O(1) CONGEST rounds the protocol takes.
+struct StarEliminationResult {
+  std::vector<bool> removed;
+  int removed_count = 0;
+  int passes = 0;
+  int rounds_used = 0;
+};
+StarEliminationResult eliminate_stars(const graph::Graph& g);
+
+struct McmApproxOptions {
+  FrameworkOptions framework;
+  // Lemma 3.1 guarantees |M*| >= c·|V̄| for a constant c > 0 depending only
+  // on planarity; the partition runs with ε' = c·ε.
+  double matching_linearity_constant = 0.125;
+};
+
+struct McmApproxResult {
+  seq::Mates mates;
+  int matching_size = 0;
+  int removed_vertices = 0;
+  int num_clusters = 0;
+  congest::RoundLedger ledger;
+};
+
+McmApproxResult mcm_planar_approx(const graph::Graph& g, double eps,
+                                  const McmApproxOptions& options = {});
+
+}  // namespace ecd::core

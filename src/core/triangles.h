@@ -1,0 +1,32 @@
+// Distributed triangle counting on sparse networks.
+//
+// Expander decompositions entered CONGEST through triangle listing
+// (Chang–Pettie–Saranurak–Zhang, §1.4 of the paper). On H-minor-free
+// networks the problem is far easier: a Barenboim–Elkin orientation has
+// out-degree t = O(1), and after each vertex announces its out-list
+// (t rounds, one O(log n)-bit id per edge per round) every vertex knows the
+// out-lists of all its neighbors and can enumerate every triangle it
+// belongs to. Total: O(degeneracy) rounds — all measured on the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "src/congest/round_ledger.h"
+#include "src/graph/graph.h"
+
+namespace ecd::core {
+
+struct TriangleCountResult {
+  std::int64_t triangles = 0;
+  // Per-vertex counts (triangles where the vertex is the minimum id).
+  std::vector<std::int64_t> local_count;
+  congest::RoundLedger ledger;
+  int out_degree_bound = 0;
+};
+
+TriangleCountResult count_triangles_distributed(const graph::Graph& g);
+
+// Host-side oracle for verification.
+std::int64_t count_triangles_sequential(const graph::Graph& g);
+
+}  // namespace ecd::core

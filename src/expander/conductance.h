@@ -1,0 +1,40 @@
+// Conductance computation: exact enumeration for tiny graphs, spectral
+// (Cheeger) bounds for everything else (§2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace ecd::expander {
+
+// Φ(S) = |∂S| / min(vol(S), vol(V\S)); 0 for trivial cuts.
+double cut_conductance(const graph::Graph& g, const std::vector<bool>& in_s);
+
+// Exact Φ(G) = min over all nontrivial cuts; requires n <= 16. Returns 0 for
+// graphs with < 2 vertices and for disconnected graphs.
+double exact_conductance(const graph::Graph& g);
+
+// Second-smallest eigenvalue of the normalized Laplacian, estimated by
+// deflated power iteration on the normalized adjacency. Accurate to roughly
+// the iteration count; deterministic given the seed.
+double lambda2_normalized(const graph::Graph& g, int iterations = 400,
+                          std::uint64_t seed = 1);
+
+// Cheeger: λ2/2 <= Φ(G) <= sqrt(2 λ2).
+struct CheegerBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+CheegerBounds conductance_bounds(const graph::Graph& g, int iterations = 400,
+                                 std::uint64_t seed = 1);
+
+// Conductance lower bound certificate for one cluster: exact value when the
+// cluster is tiny, λ2/2 otherwise.
+double certified_conductance_lower_bound(const graph::Graph& g,
+                                         int exact_threshold = 14,
+                                         int iterations = 400,
+                                         std::uint64_t seed = 1);
+
+}  // namespace ecd::expander

@@ -1,0 +1,118 @@
+#include "src/expander/sweep_cut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+namespace ecd::expander {
+
+using graph::Graph;
+using graph::VertexId;
+
+SweepResult sweep_cut(const Graph& g, const std::vector<double>& score) {
+  const int n = g.num_vertices();
+  SweepResult result;
+  if (n < 2 || g.num_edges() == 0) return result;
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&score](VertexId a, VertexId b) { return score[a] < score[b]; });
+
+  std::vector<bool> inside(n, false);
+  std::int64_t vol_s = 0;
+  const std::int64_t vol_total = g.volume();
+  std::int64_t cut = 0;
+  double best = 1e18;
+  int best_k = -1;
+  for (int k = 0; k + 1 < n; ++k) {
+    const VertexId v = order[k];
+    int inside_nbrs = 0;
+    for (VertexId u : g.neighbors(v)) {
+      if (inside[u]) ++inside_nbrs;
+    }
+    cut += g.degree(v) - 2 * inside_nbrs;
+    inside[v] = true;
+    vol_s += g.degree(v);
+    const std::int64_t small_vol = std::min(vol_s, vol_total - vol_s);
+    if (small_vol == 0) continue;
+    const double phi = static_cast<double>(cut) / static_cast<double>(small_vol);
+    if (phi < best) {
+      best = phi;
+      best_k = k + 1;
+    }
+  }
+  if (best_k < 0) return result;
+  result.in_s.assign(n, false);
+  for (int i = 0; i < best_k; ++i) result.in_s[order[i]] = true;
+  result.conductance = best;
+  result.valid = true;
+  return result;
+}
+
+std::vector<double> fiedler_embedding(const Graph& g, int iterations,
+                                      std::uint64_t seed) {
+  const int n = g.num_vertices();
+  std::vector<double> sqrt_deg(n);
+  double phi1_norm_sq = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    sqrt_deg[v] = std::sqrt(static_cast<double>(g.degree(v)));
+    phi1_norm_sq += g.degree(v);
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  std::vector<double> x(n), y(n);
+  for (auto& xi : x) xi = unit(rng);
+
+  auto deflate = [&](std::vector<double>& v) {
+    if (phi1_norm_sq <= 0) return;
+    double dot = 0.0;
+    for (int i = 0; i < n; ++i) dot += v[i] * sqrt_deg[i];
+    dot /= phi1_norm_sq;
+    for (int i = 0; i < n; ++i) v[i] -= dot * sqrt_deg[i];
+  };
+  auto normalize = [&](std::vector<double>& v) {
+    double norm = 0.0;
+    for (double vi : v) norm += vi * vi;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return false;
+    for (double& vi : v) vi /= norm;
+    return true;
+  };
+  deflate(x);
+  normalize(x);
+  for (int it = 0; it < iterations; ++it) {
+    for (int v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (VertexId u : g.neighbors(v)) {
+        if (sqrt_deg[u] > 0) acc += x[u] / sqrt_deg[u];
+      }
+      y[v] = 0.5 * (x[v] + (sqrt_deg[v] > 0 ? acc / sqrt_deg[v] : 0.0));
+    }
+    deflate(y);
+    if (!normalize(y)) break;
+    x.swap(y);
+  }
+  // Embed back: Fiedler coordinate of v is x[v] / sqrt(deg v).
+  std::vector<double> out(n, 0.0);
+  for (int v = 0; v < n; ++v) {
+    out[v] = sqrt_deg[v] > 0 ? x[v] / sqrt_deg[v] : 0.0;
+  }
+  return out;
+}
+
+SweepResult spectral_cut(const Graph& g, int iterations, std::uint64_t seed,
+                         int restarts) {
+  SweepResult best;
+  for (int r = 0; r < restarts; ++r) {
+    const auto emb = fiedler_embedding(g, iterations, seed + 7919 * r);
+    const auto cut = sweep_cut(g, emb);
+    if (cut.valid && (!best.valid || cut.conductance < best.conductance)) {
+      best = cut;
+    }
+  }
+  return best;
+}
+
+}  // namespace ecd::expander

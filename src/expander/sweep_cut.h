@@ -1,0 +1,31 @@
+// Sweep cuts: turn a vertex embedding (e.g. an approximate Fiedler vector)
+// into the best prefix cut by conductance.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace ecd::expander {
+
+struct SweepResult {
+  std::vector<bool> in_s;
+  double conductance = 0.0;
+  bool valid = false;  // false when no nontrivial cut exists
+};
+
+// Sorts vertices by `score` ascending and returns the prefix cut minimizing
+// conductance. O(m + n log n).
+SweepResult sweep_cut(const graph::Graph& g, const std::vector<double>& score);
+
+// Approximate Fiedler embedding: D^{-1/2} times the deflated power-iteration
+// vector (the same operator as lambda2_normalized).
+std::vector<double> fiedler_embedding(const graph::Graph& g,
+                                      int iterations = 400,
+                                      std::uint64_t seed = 1);
+
+// Convenience: fiedler_embedding + sweep_cut, best over `restarts` seeds.
+SweepResult spectral_cut(const graph::Graph& g, int iterations = 400,
+                         std::uint64_t seed = 1, int restarts = 2);
+
+}  // namespace ecd::expander

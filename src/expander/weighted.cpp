@@ -1,0 +1,251 @@
+#include "src/expander/weighted.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <random>
+#include <stdexcept>
+
+#include "src/graph/subgraph.h"
+
+namespace ecd::expander {
+
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+namespace {
+
+std::vector<double> weighted_degrees(const Graph& g) {
+  std::vector<double> wd(g.num_vertices(), 0.0);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    wd[ed.u] += static_cast<double>(g.weight(e));
+    wd[ed.v] += static_cast<double>(g.weight(e));
+  }
+  return wd;
+}
+
+}  // namespace
+
+double weighted_cut_conductance(const Graph& g, const std::vector<bool>& in_s) {
+  const auto wd = weighted_degrees(g);
+  double vol_s = 0.0, vol_total = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    vol_total += wd[v];
+    if (in_s[v]) vol_s += wd[v];
+  }
+  const double vol_rest = vol_total - vol_s;
+  if (vol_s <= 0.0 || vol_rest <= 0.0) return 0.0;
+  double cut = 0.0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    if (in_s[ed.u] != in_s[ed.v]) cut += static_cast<double>(g.weight(e));
+  }
+  return cut / std::min(vol_s, vol_rest);
+}
+
+std::vector<double> weighted_fiedler_embedding(const Graph& g, int iterations,
+                                               std::uint64_t seed) {
+  const int n = g.num_vertices();
+  const auto wd = weighted_degrees(g);
+  std::vector<double> sqrt_wd(n);
+  double phi1_norm_sq = 0.0;
+  for (int v = 0; v < n; ++v) {
+    sqrt_wd[v] = std::sqrt(wd[v]);
+    phi1_norm_sq += wd[v];
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  std::vector<double> x(n), y(n);
+  for (auto& xi : x) xi = unit(rng);
+
+  auto deflate = [&](std::vector<double>& v) {
+    if (phi1_norm_sq <= 0) return;
+    double dot = 0.0;
+    for (int i = 0; i < n; ++i) dot += v[i] * sqrt_wd[i];
+    dot /= phi1_norm_sq;
+    for (int i = 0; i < n; ++i) v[i] -= dot * sqrt_wd[i];
+  };
+  auto normalize = [&](std::vector<double>& v) {
+    double norm = 0.0;
+    for (double vi : v) norm += vi * vi;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return false;
+    for (double& vi : v) vi /= norm;
+    return true;
+  };
+  deflate(x);
+  normalize(x);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const graph::Edge ed = g.edge(e);
+      const double w = static_cast<double>(g.weight(e));
+      if (sqrt_wd[ed.u] > 0 && sqrt_wd[ed.v] > 0) {
+        y[ed.u] += w * x[ed.v] / (sqrt_wd[ed.u] * sqrt_wd[ed.v]);
+        y[ed.v] += w * x[ed.u] / (sqrt_wd[ed.u] * sqrt_wd[ed.v]);
+      }
+    }
+    for (int v = 0; v < n; ++v) y[v] = 0.5 * (x[v] + y[v]);
+    deflate(y);
+    if (!normalize(y)) break;
+    x.swap(y);
+  }
+  std::vector<double> out(n, 0.0);
+  for (int v = 0; v < n; ++v) {
+    out[v] = sqrt_wd[v] > 0 ? x[v] / sqrt_wd[v] : 0.0;
+  }
+  return out;
+}
+
+namespace {
+
+// Weighted sweep cut over the embedding.
+struct WeightedSweep {
+  std::vector<bool> in_s;
+  double conductance = 0.0;
+  bool valid = false;
+};
+
+WeightedSweep weighted_sweep_cut(const Graph& g,
+                                 const std::vector<double>& score) {
+  const int n = g.num_vertices();
+  WeightedSweep result;
+  if (n < 2 || g.num_edges() == 0) return result;
+  const auto wd = weighted_degrees(g);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&score](VertexId a, VertexId b) {
+    return score[a] < score[b];
+  });
+  std::vector<bool> inside(n, false);
+  double vol_total = 0.0;
+  for (double w : wd) vol_total += w;
+  double vol_s = 0.0, cut = 0.0, best = 1e18;
+  int best_k = -1;
+  for (int k = 0; k + 1 < n; ++k) {
+    const VertexId v = order[k];
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double w = static_cast<double>(g.weight(eids[i]));
+      cut += inside[nbrs[i]] ? -w : w;
+    }
+    inside[v] = true;
+    vol_s += wd[v];
+    const double small = std::min(vol_s, vol_total - vol_s);
+    if (small <= 0) continue;
+    const double phi = cut / small;
+    if (phi < best) {
+      best = phi;
+      best_k = k + 1;
+    }
+  }
+  if (best_k < 0) return result;
+  result.in_s.assign(n, false);
+  for (int i = 0; i < best_k; ++i) result.in_s[order[i]] = true;
+  result.conductance = best;
+  result.valid = true;
+  return result;
+}
+
+std::vector<std::vector<VertexId>> components_within(
+    const Graph& g, const std::vector<VertexId>& vertices) {
+  std::vector<char> in_set(g.num_vertices(), 0);
+  for (VertexId v : vertices) in_set[v] = 1;
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::vector<std::vector<VertexId>> components;
+  for (VertexId s : vertices) {
+    if (seen[s]) continue;
+    components.emplace_back();
+    auto& comp = components.back();
+    std::queue<VertexId> q;
+    seen[s] = 1;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      comp.push_back(v);
+      for (VertexId u : g.neighbors(v)) {
+        if (in_set[u] && !seen[u]) {
+          seen[u] = 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+WeightedDecomposition expander_decompose_weighted(
+    const Graph& g, double eps, const DecompositionOptions& options) {
+  if (eps <= 0.0 || eps >= 1.0) throw std::invalid_argument("eps out of (0,1)");
+  const std::int64_t total_weight = g.total_weight();
+  double phi = options.phi;
+  if (phi <= 0.0) {
+    const double logm =
+        std::max(1.0, std::log2(static_cast<double>(std::max(2, g.num_edges()))));
+    phi = eps / (8.0 * logm);
+  }
+
+  for (int attempt = 0; attempt <= options.max_retries; ++attempt, phi /= 2.0) {
+    WeightedDecomposition result;
+    auto& d = result.base;
+    d.cluster_of.assign(g.num_vertices(), -1);
+    d.num_clusters = 0;
+    d.phi = phi;
+
+    std::vector<VertexId> all(g.num_vertices());
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<std::vector<VertexId>> work = components_within(g, all);
+    std::uint64_t seed = options.seed;
+    while (!work.empty()) {
+      std::vector<VertexId> piece = std::move(work.back());
+      work.pop_back();
+      if (piece.size() <= 2) {
+        const int label = d.num_clusters++;
+        for (VertexId v : piece) d.cluster_of[v] = label;
+        d.cluster_phi_certified.push_back(1.0);
+        continue;
+      }
+      const auto sub = graph::induced_subgraph(g, piece);
+      const auto emb = weighted_fiedler_embedding(
+          sub.graph, options.spectral_iterations, seed);
+      if (!options.deterministic) seed += 7919;
+      const auto cut = weighted_sweep_cut(sub.graph, emb);
+      if (cut.valid && cut.conductance < phi) {
+        std::vector<VertexId> left, right;
+        for (int i = 0; i < sub.graph.num_vertices(); ++i) {
+          (cut.in_s[i] ? left : right).push_back(sub.to_parent[i]);
+        }
+        for (auto& comp : components_within(g, left)) work.push_back(std::move(comp));
+        for (auto& comp : components_within(g, right)) work.push_back(std::move(comp));
+      } else {
+        const int label = d.num_clusters++;
+        for (VertexId v : piece) d.cluster_of[v] = label;
+        d.cluster_phi_certified.push_back(cut.valid ? cut.conductance : 1.0);
+      }
+    }
+
+    d.is_inter_cluster.assign(g.num_edges(), false);
+    d.inter_cluster_edges = 0;
+    result.inter_cluster_weight = 0;
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const graph::Edge ed = g.edge(e);
+      if (d.cluster_of[ed.u] != d.cluster_of[ed.v]) {
+        d.is_inter_cluster[e] = true;
+        ++d.inter_cluster_edges;
+        result.inter_cluster_weight += g.weight(e);
+      }
+    }
+    if (result.inter_cluster_weight <= eps * total_weight) return result;
+  }
+  throw std::runtime_error(
+      "expander_decompose_weighted: weight budget unsatisfied after retries");
+}
+
+}  // namespace ecd::expander

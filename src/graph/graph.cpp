@@ -1,0 +1,130 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace ecd::graph {
+
+Graph Graph::from_edges(int num_vertices, std::vector<Edge> edges) {
+  if (num_vertices < 0) throw std::invalid_argument("negative vertex count");
+  Graph g;
+  g.offsets_.assign(num_vertices + 1, 0);
+  for (Edge& e : edges) {
+    if (e.u < 0 || e.v < 0 || e.u >= num_vertices || e.v >= num_vertices) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+    if (e.u == e.v) throw std::invalid_argument("self loop");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  {
+    auto copy = edges;
+    std::sort(copy.begin(), copy.end(), [](const Edge& a, const Edge& b) {
+      return std::pair(a.u, a.v) < std::pair(b.u, b.v);
+    });
+    if (std::adjacent_find(copy.begin(), copy.end()) != copy.end()) {
+      throw std::invalid_argument("parallel edge");
+    }
+  }
+  g.edges_ = std::move(edges);
+
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  g.adjacency_.resize(2 * g.edges_.size());
+  g.incident_.resize(2 * g.edges_.size());
+  std::vector<int> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId id = 0; id < static_cast<EdgeId>(g.edges_.size()); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adjacency_[cursor[e.u]] = e.v;
+    g.incident_[cursor[e.u]++] = id;
+    g.adjacency_[cursor[e.v]] = e.u;
+    g.incident_[cursor[e.v]++] = id;
+  }
+  g.max_degree_ = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  return g;
+}
+
+EdgeId Graph::find_edge(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    return kInvalidEdge;
+  }
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto nbrs = neighbors(u);
+  auto eids = incident_edges(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == v) return eids[i];
+  }
+  return kInvalidEdge;
+}
+
+std::int64_t Graph::total_weight() const {
+  if (!is_weighted()) return num_edges();
+  std::int64_t sum = 0;
+  for (Weight w : weights_) sum += w;
+  return sum;
+}
+
+Weight Graph::max_weight() const {
+  if (!is_weighted()) return num_edges() == 0 ? 0 : 1;
+  Weight best = 0;
+  for (Weight w : weights_) best = std::max(best, w);
+  return best;
+}
+
+Graph Graph::with_weights(std::vector<Weight> weights) const {
+  if (static_cast<int>(weights.size()) != num_edges()) {
+    throw std::invalid_argument("weight vector size mismatch");
+  }
+  for (Weight w : weights) {
+    if (w <= 0) throw std::invalid_argument("weights must be positive");
+  }
+  Graph g = *this;
+  g.weights_ = std::move(weights);
+  return g;
+}
+
+Graph Graph::with_signs(std::vector<EdgeSign> signs) const {
+  if (static_cast<int>(signs.size()) != num_edges()) {
+    throw std::invalid_argument("sign vector size mismatch");
+  }
+  Graph g = *this;
+  g.signs_ = std::move(signs);
+  return g;
+}
+
+std::uint64_t GraphBuilder::key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+bool GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u == v) return false;
+  if (u < 0 || v < 0 || u >= num_vertices_ || v >= num_vertices_) {
+    throw std::invalid_argument("edge endpoint out of range");
+  }
+  if (!edge_keys_.insert(key(u, v)).second) return false;
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v});
+  return true;
+}
+
+bool GraphBuilder::has_edge(VertexId u, VertexId v) const {
+  if (u == v || u < 0 || v < 0 || u >= num_vertices_ || v >= num_vertices_) {
+    return false;
+  }
+  return edge_keys_.contains(key(u, v));
+}
+
+Graph GraphBuilder::build() && {
+  return Graph::from_edges(num_vertices_, std::move(edges_));
+}
+
+}  // namespace ecd::graph

@@ -1,0 +1,74 @@
+#include "src/graph/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecd::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    os << ed.u << ' ' << ed.v;
+    if (g.is_weighted()) os << ' ' << g.weight(e);
+    os << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  int n = 0, m = 0;
+  if (!(is >> n >> m)) throw std::runtime_error("bad edge-list header");
+  std::string rest;
+  std::getline(is, rest);
+
+  std::vector<Edge> edges;
+  std::vector<Weight> weights;
+  bool weighted = false;
+  edges.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    std::string line;
+    if (!std::getline(is, line)) throw std::runtime_error("truncated edge list");
+    std::istringstream ls(line);
+    VertexId u, v;
+    if (!(ls >> u >> v)) throw std::runtime_error("bad edge line");
+    edges.push_back({u, v});
+    Weight w;
+    if (ls >> w) {
+      weighted = true;
+      weights.resize(edges.size() - 1, 1);
+      weights.push_back(w);
+    } else if (weighted) {
+      weights.push_back(1);
+    }
+  }
+  Graph g = Graph::from_edges(n, std::move(edges));
+  if (weighted) g = g.with_weights(std::move(weights));
+  return g;
+}
+
+std::string to_dot(const Graph& g, const std::vector<int>& cluster_of) {
+  static const char* kPalette[] = {"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+                                   "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+                                   "#9c755f", "#bab0ac"};
+  std::ostringstream os;
+  os << "graph G {\n  node [shape=circle, style=filled];\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    os << "  " << v;
+    if (!cluster_of.empty()) {
+      os << " [fillcolor=\"" << kPalette[cluster_of[v] % 10] << "\"]";
+    }
+    os << ";\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    os << "  " << ed.u << " -- " << ed.v;
+    if (g.is_weighted()) os << " [label=\"" << g.weight(e) << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ecd::graph

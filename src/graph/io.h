@@ -1,0 +1,19 @@
+// Plain-text graph IO: whitespace edge lists and Graphviz DOT export.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace ecd::graph {
+
+// Format: first line "n m", then m lines "u v [weight]".
+// Weights are emitted/parsed only when the graph is weighted.
+void write_edge_list(const Graph& g, std::ostream& os);
+Graph read_edge_list(std::istream& is);
+
+// DOT export, with cluster colors if `cluster_of` is non-empty.
+std::string to_dot(const Graph& g, const std::vector<int>& cluster_of = {});
+
+}  // namespace ecd::graph

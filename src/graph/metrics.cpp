@@ -1,0 +1,195 @@
+#include "src/graph/metrics.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ecd::graph {
+
+std::vector<int> bfs_distances(const Graph& g, VertexId source) {
+  std::vector<int> dist(g.num_vertices(), kUnreachable);
+  std::queue<VertexId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (VertexId u : g.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+Components connected_components(const Graph& g) {
+  Components result;
+  result.label.assign(g.num_vertices(), -1);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (result.label[s] != -1) continue;
+    const int c = result.count++;
+    std::queue<VertexId> q;
+    result.label[s] = c;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (VertexId u : g.neighbors(v)) {
+        if (result.label[u] == -1) {
+          result.label[u] = c;
+          q.push(u);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_vertices() <= 1 || connected_components(g).count == 1;
+}
+
+int exact_diameter(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n <= 1) return 0;
+  int best = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (int d : dist) {
+      if (d == kUnreachable) return kUnreachable;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+int two_sweep_diameter_lower_bound(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n <= 1) return 0;
+  auto farthest = [&](VertexId s) {
+    const auto dist = bfs_distances(g, s);
+    VertexId arg = s;
+    int best = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] != kUnreachable && dist[v] > best) {
+        best = dist[v];
+        arg = v;
+      }
+    }
+    return std::pair(arg, best);
+  };
+  const auto [far1, unused] = farthest(0);
+  (void)unused;
+  return farthest(far1).second;
+}
+
+DegeneracyResult degeneracy(const Graph& g) {
+  const int n = g.num_vertices();
+  DegeneracyResult result;
+  result.order.reserve(n);
+  std::vector<int> deg(n);
+  std::vector<bool> removed(n, false);
+  int max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bucket queue over residual degrees.
+  std::vector<std::vector<VertexId>> buckets(max_deg + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  int cursor = 0;
+  for (int iter = 0; iter < n; ++iter) {
+    // The minimum residual degree drops by at most one per removal, so the
+    // scan may resume one bucket below the previous minimum.
+    cursor = std::max(0, cursor - 1);
+    VertexId v = kInvalidVertex;
+    while (true) {
+      while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+      v = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (!removed[v] && deg[v] == cursor) break;  // skip stale entries
+    }
+    removed[v] = true;
+    result.order.push_back(v);
+    result.degeneracy = std::max(result.degeneracy, cursor);
+    for (VertexId u : g.neighbors(v)) {
+      if (!removed[u]) {
+        buckets[--deg[u]].push_back(u);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<EdgeId>> biconnected_components(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> disc(n, -1), low(n, 0);
+  std::vector<EdgeId> edge_stack;
+  std::vector<std::vector<EdgeId>> blocks;
+  int timer = 0;
+
+  // Iterative DFS frame: vertex, incident index, edge we arrived through.
+  struct Frame {
+    VertexId v;
+    std::size_t idx;
+    EdgeId via;
+  };
+  for (VertexId root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    std::vector<Frame> stack{{root, 0, kInvalidEdge}};
+    disc[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto eids = g.incident_edges(f.v);
+      if (f.idx < eids.size()) {
+        const EdgeId e = eids[f.idx++];
+        if (e == f.via) continue;
+        const VertexId u = g.other_endpoint(e, f.v);
+        if (disc[u] == -1) {
+          edge_stack.push_back(e);
+          disc[u] = low[u] = timer++;
+          stack.push_back({u, 0, e});
+        } else if (disc[u] < disc[f.v]) {
+          edge_stack.push_back(e);  // back edge
+          low[f.v] = std::min(low[f.v], disc[u]);
+        }
+        continue;
+      }
+      // Post-order: fold into parent; pop a block at articulation points.
+      const Frame done = f;
+      stack.pop_back();
+      if (stack.empty()) continue;
+      Frame& parent = stack.back();
+      low[parent.v] = std::min(low[parent.v], low[done.v]);
+      if (low[done.v] >= disc[parent.v]) {
+        blocks.emplace_back();
+        auto& block = blocks.back();
+        while (!edge_stack.empty()) {
+          const EdgeId e = edge_stack.back();
+          edge_stack.pop_back();
+          block.push_back(e);
+          if (e == done.via) break;
+        }
+      }
+    }
+  }
+  return blocks;
+}
+
+std::vector<std::vector<EdgeId>> degeneracy_orientation(const Graph& g) {
+  const auto peel = degeneracy(g);
+  std::vector<int> rank(g.num_vertices());
+  for (int i = 0; i < static_cast<int>(peel.order.size()); ++i) {
+    rank[peel.order[i]] = i;
+  }
+  std::vector<std::vector<EdgeId>> owned(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge ed = g.edge(e);
+    const VertexId owner = rank[ed.u] < rank[ed.v] ? ed.u : ed.v;
+    owned[owner].push_back(e);
+  }
+  return owned;
+}
+
+}  // namespace ecd::graph

@@ -1,0 +1,50 @@
+// Structural graph metrics: BFS, diameter, connectivity, degeneracy.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace ecd::graph {
+
+constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+// BFS hop distances from `source`; unreachable vertices get kUnreachable.
+std::vector<int> bfs_distances(const Graph& g, VertexId source);
+
+// Connected-component labels in [0, k); returns labels and component count.
+struct Components {
+  std::vector<int> label;
+  int count = 0;
+};
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+// Exact diameter via all-pairs BFS (intended for n up to a few thousand).
+// Returns 0 for n <= 1 and kUnreachable for disconnected graphs.
+int exact_diameter(const Graph& g);
+
+// Lower bound on the diameter via a two-sweep BFS heuristic; exact on trees.
+int two_sweep_diameter_lower_bound(const Graph& g);
+
+// Degeneracy (max over the peeling order of the minimum degree) and the
+// corresponding elimination order. Arboricity <= degeneracy <= 2*arboricity-1.
+struct DegeneracyResult {
+  int degeneracy = 0;
+  std::vector<VertexId> order;  // peeling order, lowest-degree-first
+};
+DegeneracyResult degeneracy(const Graph& g);
+
+// Biconnected components as edge partitions (Hopcroft–Tarjan): every edge
+// belongs to exactly one block; bridges form singleton blocks.
+std::vector<std::vector<EdgeId>> biconnected_components(const Graph& g);
+
+// Greedy low-out-degree orientation derived from the degeneracy order:
+// orients each edge from the earlier-peeled endpoint to the later one, so
+// every vertex has out-degree <= degeneracy. Returns, for each vertex, the
+// edge ids it owns (sequential counterpart of Barenboim–Elkin, §2.2).
+std::vector<std::vector<EdgeId>> degeneracy_orientation(const Graph& g);
+
+}  // namespace ecd::graph

@@ -1,0 +1,167 @@
+#include "src/seq/correlation.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ecd::seq {
+
+using graph::EdgeSign;
+using graph::Graph;
+using graph::VertexId;
+
+std::int64_t agreement_score(const Graph& g, const Clustering& c) {
+  if (static_cast<int>(c.size()) != g.num_vertices()) {
+    throw std::invalid_argument("clustering size mismatch");
+  }
+  std::int64_t score = 0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    const bool same = c[ed.u] == c[ed.v];
+    const bool positive = !g.is_signed() || g.sign(e) == EdgeSign::kPositive;
+    if (same == positive) ++score;
+  }
+  return score;
+}
+
+Clustering correlation_exact(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n > 16) throw std::invalid_argument("exact clustering limited to n <= 16");
+  if (n == 0) return {};
+
+  // score(C) = (#negative edges) + sum over clusters of
+  //            (pos_within - neg_within), so it suffices to choose the
+  // partition maximizing the within-cluster signed-edge surplus.
+  // value[mask] = pos_within(mask) - neg_within(mask), built incrementally
+  // over the lowest set bit.
+  const std::uint32_t full = (1u << n) - 1;
+  std::vector<std::int32_t> value(full + 1, 0);
+  std::vector<std::uint32_t> pos_mask(n, 0), neg_mask(n, 0);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    const bool positive = !g.is_signed() || g.sign(e) == EdgeSign::kPositive;
+    auto& masks = positive ? pos_mask : neg_mask;
+    masks[ed.u] |= 1u << ed.v;
+    masks[ed.v] |= 1u << ed.u;
+  }
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    const int low = std::countr_zero(mask);
+    const std::uint32_t rest = mask & (mask - 1);
+    value[mask] = value[rest] +
+                  std::popcount(pos_mask[low] & rest) -
+                  std::popcount(neg_mask[low] & rest);
+  }
+
+  // dp[mask] = best surplus over partitions of `mask`; the cluster containing
+  // the lowest set bit is enumerated as a submask.
+  std::vector<std::int32_t> dp(full + 1, 0);
+  std::vector<std::uint32_t> choice(full + 1, 0);
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    const std::uint32_t low_bit = mask & (~mask + 1);
+    const std::uint32_t rest = mask ^ low_bit;
+    std::int32_t best = std::numeric_limits<std::int32_t>::min();
+    std::uint32_t best_cluster = low_bit;
+    // Enumerate submasks S of `rest`; cluster = S | low_bit.
+    std::uint32_t s = rest;
+    for (;;) {
+      const std::uint32_t cluster = s | low_bit;
+      const std::int32_t cand = value[cluster] + dp[mask ^ cluster];
+      if (cand > best) {
+        best = cand;
+        best_cluster = cluster;
+      }
+      if (s == 0) break;
+      s = (s - 1) & rest;
+    }
+    dp[mask] = best;
+    choice[mask] = best_cluster;
+  }
+
+  Clustering labels(n, -1);
+  int next_label = 0;
+  std::uint32_t mask = full;
+  while (mask != 0) {
+    const std::uint32_t cluster = choice[mask];
+    for (int v = 0; v < n; ++v) {
+      if (cluster >> v & 1u) labels[v] = next_label;
+    }
+    ++next_label;
+    mask ^= cluster;
+  }
+  return labels;
+}
+
+Clustering correlation_local_search(const Graph& g, int max_rounds) {
+  const int n = g.num_vertices();
+  Clustering singletons(n);
+  std::iota(singletons.begin(), singletons.end(), 0);
+  Clustering together(n, 0);
+  Clustering c = agreement_score(g, singletons) >= agreement_score(g, together)
+                     ? singletons
+                     : together;
+
+  // Moving vertex v changes only the agreement of edges incident to v, so
+  // each candidate move is evaluated from v's incident lists alone.
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (VertexId v = 0; v < n; ++v) {
+      // Gain of leaving the current label into `label`, per incident edge:
+      // positive edge to cluster L contributes +1 iff we land in L;
+      // negative edge to L contributes +1 iff we land elsewhere.
+      std::unordered_map<int, int> pos_to, neg_to;
+      auto nbrs = g.neighbors(v);
+      auto eids = g.incident_edges(v);
+      int total_neg = 0;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const bool positive =
+            !g.is_signed() || g.sign(eids[i]) == EdgeSign::kPositive;
+        if (positive) {
+          ++pos_to[c[nbrs[i]]];
+        } else {
+          ++neg_to[c[nbrs[i]]];
+          ++total_neg;
+        }
+      }
+      auto local_score = [&](int label) {
+        const auto p = pos_to.find(label);
+        const auto ng = neg_to.find(label);
+        return (p == pos_to.end() ? 0 : p->second) + total_neg -
+               (ng == neg_to.end() ? 0 : ng->second);
+      };
+      const int current = local_score(c[v]);
+      int best_label = c[v];
+      int best = current;
+      for (const auto& [label, unused] : pos_to) {
+        (void)unused;
+        if (local_score(label) > best) {
+          best = local_score(label);
+          best_label = label;
+        }
+      }
+      // Fresh singleton label: score is total_neg (all positives disagree).
+      if (total_neg > best) {
+        best = total_neg;
+        best_label = n + v;  // unused label unique to v
+      }
+      if (best_label != c[v]) {
+        c[v] = best_label;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return c;
+}
+
+CorrelationResult best_effort_correlation(const Graph& g,
+                                          int exact_threshold) {
+  if (g.num_vertices() <= std::min(exact_threshold, 16)) {
+    return {correlation_exact(g), true};
+  }
+  return {correlation_local_search(g), false};
+}
+
+}  // namespace ecd::seq

@@ -1,0 +1,37 @@
+// Agreement-maximization correlation clustering (§3.3).
+//
+// score(C) = #(positive intra-cluster edges) + #(negative inter-cluster
+// edges). Exact maximization is APX-hard; leaders solve clusters exactly by
+// subset DP while small and by local search beyond that, always at least
+// matching the paper's |E|/2 baseline (all-singletons vs all-together).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace ecd::seq {
+
+// cluster label per vertex; labels need not be contiguous.
+using Clustering = std::vector<int>;
+
+std::int64_t agreement_score(const graph::Graph& g, const Clustering& c);
+
+// Exact optimum by DP over set partitions; requires n <= 16 (O(3^n)).
+Clustering correlation_exact(const graph::Graph& g);
+
+// Single-vertex-move hill climbing from the better of the two trivial
+// clusterings (all-singletons / all-together).
+Clustering correlation_local_search(const graph::Graph& g,
+                                    int max_rounds = 50);
+
+struct CorrelationResult {
+  Clustering clustering;
+  bool exact = false;
+};
+// Exact when n <= exact_threshold, otherwise local search.
+CorrelationResult best_effort_correlation(const graph::Graph& g,
+                                          int exact_threshold = 15);
+
+}  // namespace ecd::seq

@@ -1,0 +1,223 @@
+#include "src/seq/ldd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "src/graph/metrics.h"
+#include "src/graph/subgraph.h"
+
+namespace ecd::seq {
+
+using graph::Graph;
+using graph::VertexId;
+
+namespace {
+
+// BFS distances from `root` restricted to one piece.
+std::vector<int> bfs_within(const Graph& g, const std::vector<int>& piece_of,
+                            int piece, VertexId root) {
+  std::vector<int> dist(g.num_vertices(), graph::kUnreachable);
+  std::queue<VertexId> q;
+  dist[root] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (VertexId u : g.neighbors(v)) {
+      if (piece_of[u] == piece && dist[u] == graph::kUnreachable) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+// Splits each piece into BFS strips of `width` layers (random offset) and
+// relabels pieces as connected components of the strips.
+std::vector<int> slice_round(const Graph& g, std::vector<int> piece_of,
+                             int num_pieces, int width, std::mt19937_64& rng) {
+  const int n = g.num_vertices();
+  std::uniform_int_distribution<int> offset_dist(0, width - 1);
+  // strip key per vertex; distinct (piece, strip) pairs become new pieces.
+  std::vector<std::int64_t> strip_key(n, -1);
+  for (int p = 0; p < num_pieces; ++p) {
+    VertexId root = graph::kInvalidVertex;
+    for (VertexId v = 0; v < n; ++v) {
+      if (piece_of[v] == p) {
+        root = v;
+        break;
+      }
+    }
+    if (root == graph::kInvalidVertex) continue;
+    const int offset = offset_dist(rng);
+    // Pieces may be disconnected (strips of earlier rounds); BFS from every
+    // yet-unreached vertex of the piece.
+    std::vector<int> dist = bfs_within(g, piece_of, p, root);
+    for (VertexId v = 0; v < n; ++v) {
+      if (piece_of[v] == p && dist[v] == graph::kUnreachable) {
+        auto extra = bfs_within(g, piece_of, p, v);
+        for (VertexId u = 0; u < n; ++u) {
+          if (extra[u] != graph::kUnreachable && dist[u] == graph::kUnreachable) {
+            dist[u] = extra[u];
+          }
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (piece_of[v] == p) {
+        strip_key[v] = static_cast<std::int64_t>(p) * (n + 1) +
+                       (dist[v] + offset) / width;
+      }
+    }
+  }
+  // Connected components within equal strip keys become the new pieces.
+  std::vector<int> next(n, -1);
+  int next_count = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    if (next[s] != -1) continue;
+    const int label = next_count++;
+    std::queue<VertexId> q;
+    next[s] = label;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (VertexId u : g.neighbors(v)) {
+        if (next[u] == -1 && strip_key[u] == strip_key[v]) {
+          next[u] = label;
+          q.push(u);
+        }
+      }
+    }
+  }
+  (void)num_pieces;
+  piece_of = std::move(next);
+  return piece_of;
+}
+
+int count_pieces(const std::vector<int>& piece_of) {
+  int mx = -1;
+  for (int p : piece_of) mx = std::max(mx, p);
+  return mx + 1;
+}
+
+}  // namespace
+
+LddResult ldd_minor_free(const Graph& g, double eps, std::mt19937_64& rng,
+                         const LddOptions& options) {
+  if (eps <= 0.0 || eps > 1.0) throw std::invalid_argument("eps out of (0,1]");
+  // Each slicing round cuts at most |E|/width edges (an edge spans adjacent
+  // BFS layers and is cut with probability 1/width under the random
+  // offset), so the width must absorb all rounds plus carving slack. If the
+  // measured cut still exceeds the budget, the width doubles and the
+  // decomposition reruns — diameter stays O(1/eps).
+  int width = std::max(
+      2, static_cast<int>(std::ceil((2.0 * options.slicing_rounds + 2.0) / eps)));
+  for (int attempt = 0;; ++attempt, width *= 2) {
+    LddResult result = ldd_with_width(g, width, rng, options);
+    if (result.cut_edges <= eps * g.num_edges() + 1e-9 || attempt >= 4) {
+      return result;
+    }
+  }
+}
+
+LddResult ldd_with_width(const Graph& g, int width, std::mt19937_64& rng,
+                         const LddOptions& options) {
+  const int n = g.num_vertices();
+  std::vector<int> piece_of(n, 0);
+  int pieces = n > 0 ? 1 : 0;
+  for (int round = 0; round < options.slicing_rounds && n > 0; ++round) {
+    piece_of = slice_round(g, std::move(piece_of), pieces, width, rng);
+    pieces = count_pieces(piece_of);
+  }
+
+  // Cleanup: cap the strong diameter by carving BFS balls of radius
+  // `cap` from any piece that exceeds 2*cap.
+  const int cap = options.diameter_cap_factor * width / 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    pieces = count_pieces(piece_of);
+    for (int p = 0; p < pieces; ++p) {
+      VertexId root = graph::kInvalidVertex;
+      for (VertexId v = 0; v < n; ++v) {
+        if (piece_of[v] == p) {
+          root = v;
+          break;
+        }
+      }
+      if (root == graph::kInvalidVertex) continue;
+      auto dist = bfs_within(g, piece_of, p, root);
+      // Two-sweep: restart from the farthest vertex for a sharper estimate.
+      VertexId far = root;
+      for (VertexId v = 0; v < n; ++v) {
+        if (piece_of[v] == p && dist[v] != graph::kUnreachable &&
+            (far == root || dist[v] > dist[far])) {
+          far = v;
+        }
+      }
+      dist = bfs_within(g, piece_of, p, far);
+      int ecc = 0;
+      bool disconnected = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (piece_of[v] != p) continue;
+        if (dist[v] == graph::kUnreachable) {
+          disconnected = true;
+        } else {
+          ecc = std::max(ecc, dist[v]);
+        }
+      }
+      if (disconnected || ecc > 2 * cap) {
+        // Carve the radius-`cap` ball around `far` into a fresh piece.
+        const int fresh = pieces++;
+        for (VertexId v = 0; v < n; ++v) {
+          if (piece_of[v] == p && dist[v] != graph::kUnreachable &&
+              dist[v] <= cap) {
+            piece_of[v] = fresh;
+          }
+        }
+        changed = true;
+      }
+    }
+  }
+
+  // Compact labels.
+  LddResult result;
+  result.cluster_of.assign(n, -1);
+  std::vector<int> remap(count_pieces(piece_of), -1);
+  for (VertexId v = 0; v < n; ++v) {
+    int& slot = remap[piece_of[v]];
+    if (slot == -1) slot = result.num_clusters++;
+    result.cluster_of[v] = slot;
+  }
+  result.cut_edges = ldd_cut_edges(g, result.cluster_of);
+  return result;
+}
+
+int ldd_cut_edges(const Graph& g, const std::vector<int>& cluster_of) {
+  int cut = 0;
+  for (const graph::Edge& e : g.edges()) {
+    if (cluster_of[e.u] != cluster_of[e.v]) ++cut;
+  }
+  return cut;
+}
+
+int ldd_max_diameter(const Graph& g, const std::vector<int>& cluster_of) {
+  const int k = count_pieces(cluster_of);
+  std::vector<std::vector<VertexId>> members(k);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    members[cluster_of[v]].push_back(v);
+  }
+  int worst = 0;
+  for (const auto& m : members) {
+    if (m.size() <= 1) continue;
+    const auto sub = graph::induced_subgraph(g, m);
+    worst = std::max(worst, graph::exact_diameter(sub.graph));
+  }
+  return worst;
+}
+
+}  // namespace ecd::seq

@@ -1,0 +1,46 @@
+// Sequential low-diameter decompositions (§3.5).
+//
+// For H-minor-free graphs an (ε, D) decomposition with D = O(1/ε) exists
+// [KPR93, FT03, AGGNT19]; cluster leaders run this sequential routine in
+// the distributed construction of Theorem 1.5. The implementation is
+// KPR-style iterated BFS slicing with strip width Θ(1/ε) plus a ball-carving
+// cleanup that enforces the strong-diameter bound.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace ecd::seq {
+
+struct LddResult {
+  std::vector<int> cluster_of;  // cluster label per vertex, dense in [0, k)
+  int num_clusters = 0;
+  int cut_edges = 0;  // edges between different clusters
+};
+
+struct LddOptions {
+  // Number of BFS slicing rounds; 3 suffices for planar graphs (KPR uses
+  // k rounds for K_k-minor-free).
+  int slicing_rounds = 3;
+  // Enforce strong diameter <= diameter_cap_factor * width by ball carving.
+  int diameter_cap_factor = 4;
+};
+
+// Decomposes g with strip width Θ(1/eps); guarantees cut <= eps * |E|
+// (verify-and-widen retry) with per-cluster strong diameter O(1/eps).
+LddResult ldd_minor_free(const graph::Graph& g, double eps,
+                         std::mt19937_64& rng, const LddOptions& options = {});
+
+// One decomposition pass at a fixed strip width (no budget retry).
+LddResult ldd_with_width(const graph::Graph& g, int width,
+                         std::mt19937_64& rng, const LddOptions& options = {});
+
+// Evaluation helpers shared by tests and benches.
+int ldd_cut_edges(const graph::Graph& g, const std::vector<int>& cluster_of);
+// Maximum over clusters of the exact strong diameter of G[cluster].
+int ldd_max_diameter(const graph::Graph& g,
+                     const std::vector<int>& cluster_of);
+
+}  // namespace ecd::seq

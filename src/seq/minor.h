@@ -1,0 +1,32 @@
+// H-minor containment testing via branch-set search.
+//
+// H <= G iff V(G) contains disjoint connected "branch sets", one per vertex
+// of H, with an edge of G between every pair of branch sets joined in H.
+// The search is exponential — it is a *test oracle* for small instances
+// (|V(H)| <= 6, |V(G)| <= ~30), used to cross-validate the planarity tester
+// and the property-testing pipeline, not a runtime component.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/graph/graph.h"
+
+namespace ecd::seq {
+
+struct MinorOptions {
+  // Abort the search after this many branch nodes (returns nullopt).
+  std::int64_t node_budget = 20'000'000;
+};
+
+// Returns whether H is a minor of G, or std::nullopt if the budget ran out.
+std::optional<bool> has_minor(const graph::Graph& g, const graph::Graph& h,
+                              const MinorOptions& options = {});
+
+// Convenience oracles built on has_minor (tiny graphs only).
+std::optional<bool> is_planar_by_minors(const graph::Graph& g,
+                                        const MinorOptions& options = {});
+std::optional<bool> is_outerplanar_by_minors(const graph::Graph& g,
+                                             const MinorOptions& options = {});
+
+}  // namespace ecd::seq

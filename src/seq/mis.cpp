@@ -1,0 +1,266 @@
+#include "src/seq/mis.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ecd::seq {
+
+using graph::Graph;
+using graph::VertexId;
+
+namespace {
+
+// Branch-and-bound state over a shrinking "alive" vertex set.
+class MisSearch {
+ public:
+  MisSearch(const Graph& g, std::int64_t node_budget)
+      : g_(g), budget_(node_budget), alive_(g.num_vertices(), true),
+        degree_(g.num_vertices()) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) degree_[v] = g.degree(v);
+    alive_count_ = g.num_vertices();
+  }
+
+  std::optional<std::vector<VertexId>> run() {
+    best_.clear();
+    current_.clear();
+    ok_ = true;
+    recurse();
+    if (!ok_) return std::nullopt;
+    return best_;
+  }
+
+ private:
+  void remove_vertex(VertexId v, std::vector<VertexId>& log) {
+    alive_[v] = false;
+    --alive_count_;
+    log.push_back(v);
+    for (VertexId u : g_.neighbors(v)) {
+      if (alive_[u]) --degree_[u];
+    }
+  }
+
+  void restore(const std::vector<VertexId>& log) {
+    for (auto it = log.rbegin(); it != log.rend(); ++it) {
+      const VertexId v = *it;
+      alive_[v] = true;
+      ++alive_count_;
+      for (VertexId u : g_.neighbors(v)) {
+        if (alive_[u]) ++degree_[u];
+      }
+    }
+  }
+
+  void take_vertex(VertexId v, std::vector<VertexId>& log) {
+    current_.push_back(v);
+    remove_vertex(v, log);
+    for (VertexId u : g_.neighbors(v)) {
+      if (alive_[u]) remove_vertex(u, log);
+    }
+  }
+
+  void recurse() {
+    if (!ok_) return;
+    if (--budget_ < 0) {
+      ok_ = false;
+      return;
+    }
+    // Trivial upper bound: everything still alive joins the set.
+    if (current_.size() + alive_count_ <= best_.size()) return;
+
+    // Reductions: degree-0 and degree-1 vertices can always be taken.
+    std::vector<VertexId> log;
+    std::size_t taken_marker = current_.size();
+    bool reduced = true;
+    while (reduced) {
+      reduced = false;
+      for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+        if (alive_[v] && degree_[v] <= 1) {
+          take_vertex(v, log);
+          reduced = true;
+        }
+      }
+    }
+    if (alive_count_ == 0) {
+      if (current_.size() > best_.size()) best_ = current_;
+    } else if (current_.size() + alive_count_ > best_.size()) {
+      // Branch on a maximum-residual-degree vertex.
+      VertexId pivot = graph::kInvalidVertex;
+      int pivot_deg = -1;
+      for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+        if (alive_[v] && degree_[v] > pivot_deg) {
+          pivot_deg = degree_[v];
+          pivot = v;
+        }
+      }
+      {
+        std::vector<VertexId> branch_log;
+        take_vertex(pivot, branch_log);
+        recurse();
+        restore(branch_log);
+        current_.resize(current_.size() - 1);
+      }
+      {
+        std::vector<VertexId> branch_log;
+        remove_vertex(pivot, branch_log);
+        recurse();
+        restore(branch_log);
+      }
+    } else if (current_.size() > best_.size()) {
+      best_ = current_;
+    }
+    restore(log);
+    current_.resize(taken_marker);
+  }
+
+  const Graph& g_;
+  std::int64_t budget_;
+  std::vector<bool> alive_;
+  std::vector<int> degree_;
+  int alive_count_ = 0;
+  std::vector<VertexId> current_;
+  std::vector<VertexId> best_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> max_independent_set_exact(
+    const Graph& g, std::int64_t node_budget) {
+  return MisSearch(g, node_budget).run();
+}
+
+std::vector<VertexId> greedy_mis_min_degree(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<bool> alive(n, true);
+  std::vector<int> degree(n);
+  for (VertexId v = 0; v < n; ++v) degree[v] = g.degree(v);
+  std::vector<VertexId> result;
+  int remaining = n;
+  while (remaining > 0) {
+    VertexId pick = graph::kInvalidVertex;
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v] && (pick == graph::kInvalidVertex ||
+                       degree[v] < degree[pick])) {
+        pick = v;
+      }
+    }
+    result.push_back(pick);
+    auto kill = [&](VertexId v) {
+      alive[v] = false;
+      --remaining;
+      for (VertexId u : g.neighbors(v)) {
+        if (alive[u]) --degree[u];
+      }
+    };
+    kill(pick);
+    for (VertexId u : g.neighbors(pick)) {
+      if (alive[u]) kill(u);
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> mis_local_search(const Graph& g,
+                                       std::vector<VertexId> initial,
+                                       int max_iterations) {
+  const int n = g.num_vertices();
+  std::vector<bool> in_set(n, false);
+  for (VertexId v : initial) in_set[v] = true;
+  // (1,2)-swap: remove one vertex, insert two of its non-adjacent
+  // ex-neighbors whose only conflict was the removed vertex.
+  std::vector<int> conflicts(n, 0);
+  auto recount = [&] {
+    for (VertexId v = 0; v < n; ++v) {
+      conflicts[v] = 0;
+      for (VertexId u : g.neighbors(v)) {
+        if (in_set[u]) ++conflicts[v];
+      }
+    }
+  };
+  recount();
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool improved = false;
+    // First, insert any free vertex.
+    for (VertexId v = 0; v < n; ++v) {
+      if (!in_set[v] && conflicts[v] == 0) {
+        in_set[v] = true;
+        for (VertexId u : g.neighbors(v)) ++conflicts[u];
+        improved = true;
+      }
+    }
+    for (VertexId v = 0; v < n && !improved; ++v) {
+      if (!in_set[v]) continue;
+      std::vector<VertexId> candidates;
+      for (VertexId u : g.neighbors(v)) {
+        if (!in_set[u] && conflicts[u] == 1) candidates.push_back(u);
+      }
+      for (std::size_t i = 0; i < candidates.size() && !improved; ++i) {
+        for (std::size_t j = i + 1; j < candidates.size() && !improved; ++j) {
+          if (!g.has_edge(candidates[i], candidates[j])) {
+            in_set[v] = false;
+            in_set[candidates[i]] = true;
+            in_set[candidates[j]] = true;
+            recount();
+            improved = true;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_set[v]) result.push_back(v);
+  }
+  return result;
+}
+
+MisResult best_effort_mis(const Graph& g, std::int64_t node_budget) {
+  if (auto exact = max_independent_set_exact(g, node_budget)) {
+    return {std::move(*exact), true};
+  }
+  return {mis_local_search(g, greedy_mis_min_degree(g)), false};
+}
+
+std::vector<VertexId> max_independent_set_bruteforce(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n > 24) throw std::invalid_argument("bruteforce MIS limited to n <= 24");
+  std::vector<std::uint32_t> nbr_mask(n, 0);
+  for (const graph::Edge& e : g.edges()) {
+    nbr_mask[e.u] |= 1u << e.v;
+    nbr_mask[e.v] |= 1u << e.u;
+  }
+  std::uint32_t best = 0;
+  int best_count = -1;
+  for (std::uint32_t s = 0; s < (1u << n); ++s) {
+    bool independent = true;
+    for (int v = 0; v < n && independent; ++v) {
+      if ((s >> v & 1u) && (s & nbr_mask[v])) independent = false;
+    }
+    if (independent && std::popcount(s) > best_count) {
+      best = s;
+      best_count = std::popcount(s);
+    }
+  }
+  std::vector<VertexId> result;
+  for (int v = 0; v < n; ++v) {
+    if (best >> v & 1u) result.push_back(v);
+  }
+  return result;
+}
+
+bool is_independent_set(const Graph& g,
+                        const std::vector<VertexId>& vertices) {
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (VertexId v : vertices) {
+    if (v < 0 || v >= g.num_vertices() || in_set[v]) return false;
+    in_set[v] = true;
+  }
+  for (const graph::Edge& e : g.edges()) {
+    if (in_set[e.u] && in_set[e.v]) return false;
+  }
+  return true;
+}
+
+}  // namespace ecd::seq

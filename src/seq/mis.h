@@ -1,0 +1,48 @@
+// Maximum independent set solvers: exact branch-and-bound (with a node
+// budget), greedy minimum-degree, local search, and a brute-force oracle.
+//
+// MaxIS is NP-hard; the CONGEST model nevertheless grants cluster leaders
+// unlimited local computation (§3.1). On a real machine we solve clusters
+// exactly while a search budget lasts and fall back to greedy + local search
+// beyond it; results report which path ran.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace ecd::seq {
+
+// Exact maximum independent set via branch and bound with degree-0/1
+// reductions. Returns std::nullopt if the search exceeds `node_budget`
+// branch nodes.
+std::optional<std::vector<graph::VertexId>> max_independent_set_exact(
+    const graph::Graph& g, std::int64_t node_budget = 4'000'000);
+
+// Repeatedly takes a minimum-degree vertex and deletes its neighborhood.
+// For a graph of edge density d this yields >= n/(2d+1) vertices (§3.1).
+std::vector<graph::VertexId> greedy_mis_min_degree(const graph::Graph& g);
+
+// Hill climbing with (1,2)-swaps starting from `initial`.
+std::vector<graph::VertexId> mis_local_search(
+    const graph::Graph& g, std::vector<graph::VertexId> initial,
+    int max_iterations = 100);
+
+// Exact if the budget suffices, otherwise greedy + local search.
+struct MisResult {
+  std::vector<graph::VertexId> vertices;
+  bool exact = false;
+};
+MisResult best_effort_mis(const graph::Graph& g,
+                          std::int64_t node_budget = 4'000'000);
+
+// Subset-enumeration oracle for n <= 24 (tests only).
+std::vector<graph::VertexId> max_independent_set_bruteforce(
+    const graph::Graph& g);
+
+bool is_independent_set(const graph::Graph& g,
+                        const std::vector<graph::VertexId>& vertices);
+
+}  // namespace ecd::seq

@@ -1,0 +1,300 @@
+#include "src/seq/planarity.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ecd::seq {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+bool satisfies_euler_bound(const Graph& g) {
+  const std::int64_t n = g.num_vertices();
+  const std::int64_t m = g.num_edges();
+  if (n < 3) return true;
+  return m <= 3 * n - 6;
+}
+
+namespace {
+
+// Left-right planarity test (check only, no embedding), following Brandes'
+// presentation of the de Fraysseix–Rosenstiehl criterion. Directed edge ids:
+// 2e is edge(e).u -> edge(e).v, 2e+1 the reverse; only the DFS-chosen
+// orientation of each undirected edge is ever used. Both DFS passes use
+// explicit stacks so deep graphs (paths) cannot overflow the call stack.
+class LeftRight {
+ public:
+  explicit LeftRight(const Graph& g)
+      : g_(g),
+        n_(g.num_vertices()),
+        m_(g.num_edges()),
+        height_(n_, -1),
+        parent_edge_(n_, -1),
+        orientation_(m_, -1),
+        lowpt_(2 * m_, 0),
+        lowpt2_(2 * m_, 0),
+        nesting_depth_(2 * m_, 0),
+        ref_(2 * m_, -1),
+        lowpt_edge_(2 * m_, -1),
+        stack_bottom_(2 * m_, 0) {}
+
+  bool run() {
+    if (!satisfies_euler_bound(g_)) return false;
+    for (VertexId root = 0; root < n_; ++root) {
+      if (height_[root] == -1) {
+        height_[root] = 0;
+        dfs_orient(root);
+      }
+    }
+    build_ordered_adjacency();
+    for (VertexId root = 0; root < n_; ++root) {
+      if (parent_edge_[root] == -1) {
+        if (!dfs_test(root)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  VertexId source(int de) const {
+    const graph::Edge e = g_.edge(de / 2);
+    return (de % 2 == 0) ? e.u : e.v;
+  }
+  VertexId target(int de) const {
+    const graph::Edge e = g_.edge(de / 2);
+    return (de % 2 == 0) ? e.v : e.u;
+  }
+  // Directed id of undirected edge `e` oriented away from `from`.
+  int directed_from(EdgeId e, VertexId from) const {
+    return 2 * e + (g_.edge(e).u == from ? 0 : 1);
+  }
+
+  // Finishes processing of an oriented edge `de` out of `v`: computes its
+  // nesting depth and folds its lowpoints into v's parent edge.
+  void finalize_edge(int de, VertexId v) {
+    nesting_depth_[de] = 2 * lowpt_[de] + (lowpt2_[de] < height_[v] ? 1 : 0);
+    const int pe = parent_edge_[v];
+    if (pe == -1) return;
+    if (lowpt_[de] < lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt_[pe], lowpt2_[de]);
+      lowpt_[pe] = lowpt_[de];
+    } else if (lowpt_[de] > lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt_[de]);
+    } else {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt2_[de]);
+    }
+  }
+
+  // Phase 1: DFS orientation plus lowpoint/nesting-depth computation.
+  void dfs_orient(VertexId root) {
+    struct Frame {
+      VertexId v;
+      std::size_t idx;
+      bool resume;  // true: just returned from the child along adj[idx]
+    };
+    std::vector<Frame> stack{{root, 0, false}};
+    while (!stack.empty()) {
+      auto [v, idx, resume] = stack.back();
+      stack.pop_back();
+      const auto eids = g_.incident_edges(v);
+      if (resume) {
+        finalize_edge(directed_from(eids[idx], v), v);
+        ++idx;
+      }
+      bool descended = false;
+      for (; idx < eids.size(); ++idx) {
+        const EdgeId e = eids[idx];
+        if (orientation_[e] != -1) continue;
+        const int de = directed_from(e, v);
+        orientation_[e] = de % 2;
+        const VertexId w = target(de);
+        lowpt_[de] = height_[v];
+        lowpt2_[de] = height_[v];
+        if (height_[w] == -1) {  // tree edge: descend
+          parent_edge_[w] = de;
+          height_[w] = height_[v] + 1;
+          stack.push_back({v, idx, true});
+          stack.push_back({w, 0, false});
+          descended = true;
+          break;
+        }
+        lowpt_[de] = height_[w];  // back edge
+        finalize_edge(de, v);
+      }
+      if (descended) continue;
+    }
+  }
+
+  void build_ordered_adjacency() {
+    ordered_adj_.assign(n_, {});
+    for (EdgeId e = 0; e < m_; ++e) {
+      if (orientation_[e] == -1) continue;
+      const int de = 2 * e + orientation_[e];
+      ordered_adj_[source(de)].push_back(de);
+    }
+    for (VertexId v = 0; v < n_; ++v) {
+      std::sort(ordered_adj_[v].begin(), ordered_adj_[v].end(),
+                [this](int a, int b) {
+                  return nesting_depth_[a] < nesting_depth_[b];
+                });
+    }
+  }
+
+  struct Interval {
+    int low = -1, high = -1;
+    bool empty() const { return low == -1 && high == -1; }
+  };
+  struct ConflictPair {
+    Interval left, right;
+  };
+
+  bool conflicting(const Interval& i, int b) const {
+    return !i.empty() && lowpt_[i.high] > lowpt_[b];
+  }
+
+  int lowest(const ConflictPair& p) const {
+    if (p.left.empty()) return lowpt_[p.right.low];
+    if (p.right.empty()) return lowpt_[p.left.low];
+    return std::min(lowpt_[p.left.low], lowpt_[p.right.low]);
+  }
+
+  bool add_constraints(int ei, int e) {
+    ConflictPair p;
+    if (static_cast<int>(s_.size()) <= stack_bottom_[ei]) return true;
+    // Merge the return edges of ei into p.right.
+    do {
+      ConflictPair q = s_.back();
+      s_.pop_back();
+      if (!q.left.empty()) std::swap(q.left, q.right);
+      if (!q.left.empty()) return false;  // two conflicting same-side groups
+      if (lowpt_[q.right.low] > lowpt_[e]) {
+        if (p.right.empty()) {
+          p.right.high = q.right.high;
+        } else {
+          ref_[p.right.low] = q.right.high;
+        }
+        p.right.low = q.right.low;
+      } else {
+        ref_[q.right.low] = lowpt_edge_[e];  // aligned with the tree path
+      }
+    } while (static_cast<int>(s_.size()) > stack_bottom_[ei]);
+
+    // Merge conflicting return edges of e_1..e_{i-1} into p.left.
+    while (!s_.empty() &&
+           (conflicting(s_.back().left, ei) || conflicting(s_.back().right, ei))) {
+      ConflictPair q = s_.back();
+      s_.pop_back();
+      if (conflicting(q.right, ei)) std::swap(q.left, q.right);
+      if (conflicting(q.right, ei)) return false;  // both sides conflict
+      if (p.right.low != -1) ref_[p.right.low] = q.right.high;
+      if (q.right.low != -1) p.right.low = q.right.low;
+      if (p.left.empty()) {
+        p.left.high = q.left.high;
+      } else {
+        ref_[p.left.low] = q.left.high;
+      }
+      p.left.low = q.left.low;
+    }
+    if (!(p.left.empty() && p.right.empty())) s_.push_back(p);
+    return true;
+  }
+
+  // Called once v's subtree is fully processed; e = parent_edge[v].
+  void remove_back_edges(int e) {
+    const VertexId u = source(e);
+    // Drop conflict pairs whose lowest return point is u itself.
+    while (!s_.empty() && lowest(s_.back()) == height_[u]) {
+      s_.pop_back();
+    }
+    if (!s_.empty()) {
+      ConflictPair p = s_.back();
+      s_.pop_back();
+      while (p.left.high != -1 && target(p.left.high) == u) {
+        p.left.high = ref_[p.left.high];
+      }
+      if (p.left.high == -1 && p.left.low != -1) {
+        ref_[p.left.low] = p.right.low;
+        p.left.low = -1;
+      }
+      while (p.right.high != -1 && target(p.right.high) == u) {
+        p.right.high = ref_[p.right.high];
+      }
+      if (p.right.high == -1 && p.right.low != -1) {
+        ref_[p.right.low] = p.left.low;
+        p.right.low = -1;
+      }
+      s_.push_back(p);
+    }
+    if (lowpt_[e] < height_[u] && !s_.empty()) {  // e has a return edge
+      const int hl = s_.back().left.high;
+      const int hr = s_.back().right.high;
+      if (hl != -1 && (hr == -1 || lowpt_[hl] > lowpt_[hr])) {
+        ref_[e] = hl;
+      } else {
+        ref_[e] = hr;
+      }
+    }
+  }
+
+  // Phase 2: the testing DFS over nesting-depth-ordered adjacencies.
+  bool dfs_test(VertexId root) {
+    struct Frame {
+      VertexId v;
+      std::size_t idx;
+      bool resume;
+    };
+    std::vector<Frame> stack{{root, 0, false}};
+    while (!stack.empty()) {
+      auto [v, idx, resume] = stack.back();
+      stack.pop_back();
+      const auto& adj = ordered_adj_[v];
+      const int e = parent_edge_[v];
+      bool descended = false;
+      for (; idx < adj.size(); ++idx) {
+        const int ei = adj[idx];
+        if (!resume) {
+          stack_bottom_[ei] = static_cast<int>(s_.size());
+          if (ei == parent_edge_[target(ei)]) {  // tree edge: descend first
+            stack.push_back({v, idx, true});
+            stack.push_back({target(ei), 0, false});
+            descended = true;
+            break;
+          }
+          lowpt_edge_[ei] = ei;  // back edge: its own return edge
+          s_.push_back(ConflictPair{{}, {ei, ei}});
+        }
+        resume = false;
+        if (lowpt_[ei] < height_[v]) {  // ei has a return edge below v
+          if (idx == 0) {
+            lowpt_edge_[e] = lowpt_edge_[ei];
+          } else if (!add_constraints(ei, e)) {
+            return false;
+          }
+        }
+      }
+      if (descended) continue;
+      if (e != -1) remove_back_edges(e);
+    }
+    return true;
+  }
+
+  const Graph& g_;
+  int n_, m_;
+  std::vector<int> height_;
+  std::vector<int> parent_edge_;   // directed edge id into each vertex
+  std::vector<int> orientation_;   // per undirected edge: chosen parity or -1
+  std::vector<int> lowpt_, lowpt2_, nesting_depth_;
+  std::vector<int> ref_, lowpt_edge_, stack_bottom_;
+  std::vector<std::vector<int>> ordered_adj_;
+  std::vector<ConflictPair> s_;
+};
+
+}  // namespace
+
+bool is_planar(const Graph& g) {
+  if (g.num_vertices() <= 4) return true;  // K5 is the smallest non-planar graph
+  return LeftRight(g).run();
+}
+
+}  // namespace ecd::seq

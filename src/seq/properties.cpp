@@ -1,0 +1,83 @@
+#include "src/seq/properties.h"
+
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "src/graph/metrics.h"
+#include "src/seq/planarity.h"
+
+namespace ecd::seq {
+
+using graph::Graph;
+using graph::VertexId;
+
+bool is_forest(const Graph& g) {
+  // A forest has exactly n - (#components) edges.
+  return g.num_edges() ==
+         g.num_vertices() - graph::connected_components(g).count;
+}
+
+bool has_treewidth_at_most_2(const Graph& g) {
+  // Series-parallel reduction: delete degree-<=1 vertices; smooth degree-2
+  // vertices (join their neighbors, suppressing the parallel edge if they
+  // are already adjacent). The graph has no K4 minor iff this empties it.
+  const int n = g.num_vertices();
+  std::vector<std::set<VertexId>> adj(n);
+  for (const graph::Edge& e : g.edges()) {
+    adj[e.u].insert(e.v);
+    adj[e.v].insert(e.u);
+  }
+  std::vector<bool> removed(n, false);
+  std::queue<VertexId> q;
+  for (VertexId v = 0; v < n; ++v) {
+    if (adj[v].size() <= 2) q.push(v);
+  }
+  int remaining = n;
+  auto maybe_requeue = [&](VertexId v) {
+    if (!removed[v] && adj[v].size() <= 2) q.push(v);
+  };
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    if (removed[v] || adj[v].size() > 2) continue;
+    removed[v] = true;
+    --remaining;
+    std::vector<VertexId> nbrs(adj[v].begin(), adj[v].end());
+    for (VertexId u : nbrs) adj[u].erase(v);
+    adj[v].clear();
+    if (nbrs.size() == 2) {
+      // Smooth: join the two neighbors.
+      adj[nbrs[0]].insert(nbrs[1]);
+      adj[nbrs[1]].insert(nbrs[0]);
+    }
+    for (VertexId u : nbrs) maybe_requeue(u);
+  }
+  return remaining == 0;
+}
+
+bool is_outerplanar(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<graph::Edge> edges(g.edges().begin(), g.edges().end());
+  for (VertexId v = 0; v < n; ++v) edges.push_back({v, n});
+  return is_planar(Graph::from_edges(n + 1, std::move(edges)));
+}
+
+MinorClosedProperty forest_property() {
+  return {"forest", 3, [](const Graph& g) { return is_forest(g); }};
+}
+
+MinorClosedProperty outerplanar_property() {
+  return {"outerplanar", 4, [](const Graph& g) { return is_outerplanar(g); }};
+}
+
+MinorClosedProperty treewidth2_property() {
+  return {"treewidth<=2", 4,
+          [](const Graph& g) { return has_treewidth_at_most_2(g); }};
+}
+
+MinorClosedProperty planar_property() {
+  return {"planar", 5, [](const Graph& g) { return is_planar(g); }};
+}
+
+}  // namespace ecd::seq

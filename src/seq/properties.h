@@ -1,0 +1,40 @@
+// Minor-closed graph properties for the distributed property tester (§3.4).
+//
+// A property enters the tester as (a) a local recognizer the cluster leader
+// runs on G[V_i] and (b) the clique threshold s = min { s : K_s not in P },
+// which determines the forbidden minor H = K_s the framework assumes (the
+// paper's construction, §3.4). Every property here is minor-closed and
+// closed under disjoint union, as Theorem 1.4 requires.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace ecd::seq {
+
+struct MinorClosedProperty {
+  std::string name;
+  // Smallest s such that K_s does not have the property.
+  int clique_threshold = 0;
+  std::function<bool(const graph::Graph&)> check;
+};
+
+// Concrete recognizers -------------------------------------------------------
+
+bool is_forest(const graph::Graph& g);
+// Treewidth <= 2 iff the graph reduces to nothing under degree-<=2 peeling.
+bool has_treewidth_at_most_2(const graph::Graph& g);
+// Outerplanar iff the graph plus one apex vertex (adjacent to everything)
+// is planar.
+bool is_outerplanar(const graph::Graph& g);
+
+// Ready-made properties (K_3 excludes forests, K_4 outerplanar & tw<=2,
+// K_5 planar).
+MinorClosedProperty forest_property();
+MinorClosedProperty outerplanar_property();
+MinorClosedProperty treewidth2_property();
+MinorClosedProperty planar_property();
+
+}  // namespace ecd::seq

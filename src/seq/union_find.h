@@ -1,0 +1,42 @@
+// Disjoint-set union with path compression and union by size.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+namespace ecd::seq {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true if x and y were in different sets.
+  bool unite(int x, int y) {
+    x = find(x);
+    y = find(y);
+    if (x == y) return false;
+    if (size_[x] < size_[y]) std::swap(x, y);
+    parent_[y] = x;
+    size_[x] += size_[y];
+    return true;
+  }
+
+  bool same(int x, int y) { return find(x) == find(y); }
+  int set_size(int x) { return size_[find(x)]; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+};
+
+}  // namespace ecd::seq

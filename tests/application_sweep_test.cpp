@@ -1,0 +1,139 @@
+// Parameterized application sweeps: each Theorem 1.x guarantee checked
+// across seeds and epsilons on small instances (complements the targeted
+// tests in applications_test.cpp with breadth).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/correlation.h"
+#include "src/core/ldd.h"
+#include "src/core/matching.h"
+#include "src/core/mwm.h"
+#include "src/core/property_testing.h"
+#include "src/graph/generators.h"
+#include "src/seq/matching.h"
+#include "src/seq/mwm.h"
+
+namespace ecd::core {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+// ---- Theorem 3.2 sweep ------------------------------------------------------
+
+class McmSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(McmSweep, RatioAtLeastOneMinusEps) {
+  const auto [eps_pm, seed] = GetParam();
+  const double eps = eps_pm / 1000.0;
+  Rng rng(seed * 131 + eps_pm);
+  const Graph g = graph::random_planar(150, 260, rng);
+  McmApproxOptions opt;
+  opt.framework.seed = seed;
+  const auto r = mcm_planar_approx(g, eps, opt);
+  ASSERT_TRUE(seq::is_valid_matching(g, r.mates));
+  const int optimum = seq::matching_size(seq::max_cardinality_matching(g));
+  EXPECT_GE(r.matching_size + 1e-9, (1.0 - eps) * optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSeeds, McmSweep,
+                         ::testing::Combine(::testing::Values(150, 300, 450),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---- Theorem 1.1 sweep --------------------------------------------------------
+
+class MwmSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MwmSweep, RatioAtLeastOneMinusEps) {
+  const auto [w_max, seed] = GetParam();
+  const double eps = 0.3;
+  Rng rng(seed * 733);
+  Graph base = graph::random_planar(90, 150, rng);
+  const Graph g = base.with_weights(graph::random_weights(base, w_max, rng));
+  MwmApproxOptions opt;
+  opt.framework.seed = seed;
+  const auto r = mwm_approx(g, eps, opt);
+  ASSERT_TRUE(seq::is_valid_matching(g, r.mates));
+  const auto exact = seq::matching_weight(g, seq::max_weight_matching(g));
+  EXPECT_GE(r.weight + 1e-9, (1.0 - eps) * exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightsSeeds, MwmSweep,
+                         ::testing::Combine(::testing::Values(5, 500, 50000),
+                                            ::testing::Values(4, 5)));
+
+// ---- Theorem 1.3 sweep ----------------------------------------------------------
+
+class CorrelationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CorrelationSweep, ScoreBeatsTheoremBound) {
+  const auto [noise_pm, seed] = GetParam();
+  const double eps = 0.25;
+  Rng rng(seed * 37 + noise_pm);
+  Graph base = graph::random_maximal_planar(120, rng);
+  const Graph g =
+      base.with_signs(graph::planted_signs(base, 10, noise_pm / 1000.0, rng));
+  CorrelationApproxOptions opt;
+  opt.framework.seed = seed;
+  const auto r = correlation_approx(g, eps, opt);
+  // Thm 1.3 bound: score >= (1-eps) * gamma(G) >= (1-eps) * |E|/2.
+  EXPECT_GE(r.score, (1.0 - eps) * g.num_edges() / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseSeeds, CorrelationSweep,
+                         ::testing::Combine(::testing::Values(0, 100, 250),
+                                            ::testing::Values(6, 7)));
+
+// ---- Theorem 1.4 sweep ------------------------------------------------------------
+
+class PropertySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PropertySweep, OneSidedError) {
+  const auto [prop_id, seed] = GetParam();
+  const double eps = 0.25;
+  Rng rng(seed * 53 + prop_id);
+  const seq::MinorClosedProperty property =
+      prop_id == 0   ? seq::planar_property()
+      : prop_id == 1 ? seq::outerplanar_property()
+      : prop_id == 2 ? seq::forest_property()
+                     : seq::treewidth2_property();
+  const Graph yes = prop_id == 0   ? graph::random_maximal_planar(100, rng)
+                    : prop_id == 1 ? graph::random_outerplanar(100, rng)
+                    : prop_id == 2 ? graph::random_tree(100, rng)
+                                   : graph::random_two_tree(100, rng);
+  PropertyTestOptions opt;
+  opt.framework.seed = seed;
+  EXPECT_TRUE(property_test(yes, property, eps, opt).accept) << property.name;
+  const Graph far = graph::plus_random_edges(
+      yes, static_cast<int>(1.5 * eps * yes.num_edges()) + 5, rng);
+  EXPECT_FALSE(property_test(far, property, eps, opt).accept) << property.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PropsSeeds, PropertySweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(8, 9)));
+
+// ---- Theorem 1.5 sweep -------------------------------------------------------------
+
+class LddSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LddSweep, CutAndDiameterWithinBounds) {
+  const auto [eps_pm, seed] = GetParam();
+  const double eps = eps_pm / 1000.0;
+  Rng rng(seed * 19);
+  const Graph g = graph::random_maximal_planar(160, rng);
+  LddApproxOptions opt;
+  opt.framework.seed = seed;
+  const auto r = ldd_approx(g, eps, opt);
+  EXPECT_LE(r.cut_edges, eps * g.num_edges() + 1e-9);
+  EXPECT_LE(r.max_diameter, 40.0 / eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSeeds, LddSweep,
+                         ::testing::Combine(::testing::Values(150, 300),
+                                            ::testing::Values(10, 11)));
+
+}  // namespace
+}  // namespace ecd::core

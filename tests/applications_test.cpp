@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/correlation.h"
+#include "src/core/ldd.h"
+#include "src/core/matching.h"
+#include "src/core/mis.h"
+#include "src/core/mwm.h"
+#include "src/core/property_testing.h"
+#include "src/graph/generators.h"
+#include "src/graph/metrics.h"
+#include "src/seq/mis.h"
+#include "src/seq/mwm.h"
+#include "src/seq/planarity.h"
+
+namespace ecd::core {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+using graph::VertexId;
+
+// ---- Theorem 1.2: maximum independent set ---------------------------------
+
+TEST(MisApprox, OutputIsIndependent) {
+  Rng rng(1);
+  Graph g = graph::random_maximal_planar(200, rng);
+  const auto r = mis_approx(g, 0.3);
+  EXPECT_TRUE(seq::is_independent_set(g, r.independent_set));
+}
+
+TEST(MisApprox, AchievesOneMinusEpsOnGrid) {
+  // alpha(grid 8x8) = 32 (checkerboard).
+  Graph g = graph::grid(8, 8);
+  const double eps = 0.25;
+  const auto r = mis_approx(g, eps);
+  ASSERT_TRUE(seq::is_independent_set(g, r.independent_set));
+  EXPECT_GE(r.independent_set.size(), (1.0 - eps) * 32);
+}
+
+TEST(MisApprox, AchievesOneMinusEpsVsExactOnSmallPlanar) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = graph::random_planar(60, 100, rng);
+    const double eps = 0.3;
+    const auto r = mis_approx(g, eps, {.framework = {.seed = 77 + trial}});
+    ASSERT_TRUE(seq::is_independent_set(g, r.independent_set));
+    const auto exact = seq::max_independent_set_exact(g);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_GE(r.independent_set.size() + 1e-9, (1.0 - eps) * exact->size())
+        << "trial " << trial;
+  }
+}
+
+TEST(MisApprox, GreedyLowerBoundHolds) {
+  // §3.1: alpha(G) >= n/(2d+1); the output is within (1-eps) of alpha.
+  Rng rng(3);
+  Graph g = graph::random_maximal_planar(400, rng);  // d = 3
+  const auto r = mis_approx(g, 0.2);
+  EXPECT_GE(r.independent_set.size(), (1.0 - 0.2) * g.num_vertices() / 7.0);
+}
+
+TEST(MisApprox, LedgerCoversAllPhases) {
+  Graph g = graph::grid(8, 8);
+  const auto r = mis_approx(g, 0.3);
+  EXPECT_GT(r.ledger.measured_total(), 0);
+  EXPECT_GT(r.ledger.modeled_total(), 0);
+  EXPECT_GT(r.num_clusters, 0);
+}
+
+// ---- Theorem 3.2: planar MCM ----------------------------------------------
+
+TEST(StarElimination, RemovesExtraLeaves) {
+  // Star with 5 leaves: 4 removed, matching size unchanged (=1).
+  Graph g = graph::star(5);
+  const auto r = eliminate_stars(g);
+  EXPECT_EQ(r.removed_count, 4);
+  EXPECT_FALSE(r.removed[0]);  // center stays
+}
+
+TEST(StarElimination, RemovesDoubleStarCompanions) {
+  // K_{2,5}: 5 degree-2 companions of the pair (0,1): keep 2.
+  Graph g = graph::complete_bipartite(2, 5);
+  const auto r = eliminate_stars(g);
+  EXPECT_EQ(r.removed_count, 3);
+}
+
+TEST(StarElimination, PreservesMaximumMatchingSize) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = graph::star_pathology(4, 4, rng);
+    const auto before = seq::matching_size(seq::max_cardinality_matching(g));
+    const auto elim = eliminate_stars(g);
+    std::vector<bool> keep(g.num_edges(), true);
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      keep[e] = !elim.removed[g.edge(e).u] && !elim.removed[g.edge(e).v];
+    }
+    const Graph g_bar = graph::edge_subgraph(g, keep);
+    const auto after = seq::matching_size(seq::max_cardinality_matching(g_bar));
+    EXPECT_EQ(before, after) << "trial " << trial;
+  }
+}
+
+TEST(StarElimination, Lemma31LinearityAfterElimination) {
+  // After elimination the maximum matching is Ω(#surviving non-isolated
+  // vertices) — the engine behind §3.2.
+  Rng rng(5);
+  Graph g = graph::star_pathology(10, 8, rng);
+  const auto elim = eliminate_stars(g);
+  std::vector<bool> keep(g.num_edges(), true);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    keep[e] = !elim.removed[g.edge(e).u] && !elim.removed[g.edge(e).v];
+  }
+  const Graph g_bar = graph::edge_subgraph(g, keep);
+  int surviving = 0;
+  for (VertexId v = 0; v < g_bar.num_vertices(); ++v) {
+    surviving += g_bar.degree(v) > 0;
+  }
+  const int matching = seq::matching_size(seq::max_cardinality_matching(g_bar));
+  EXPECT_GE(8 * matching, surviving);  // c >= 1/8
+}
+
+TEST(McmApprox, ValidMatchingOnPlanar) {
+  Rng rng(6);
+  Graph g = graph::random_planar(300, 500, rng);
+  const auto r = mcm_planar_approx(g, 0.3);
+  EXPECT_TRUE(seq::is_valid_matching(g, r.mates));
+}
+
+TEST(McmApprox, AchievesOneMinusEps) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = graph::random_planar(200, 350, rng);
+    const double eps = 0.3;
+    const auto r =
+        mcm_planar_approx(g, eps, {.framework = {.seed = 13 + trial}});
+    const int opt = seq::matching_size(seq::max_cardinality_matching(g));
+    EXPECT_GE(r.matching_size + 1e-9, (1.0 - eps) * opt) << "trial " << trial;
+  }
+}
+
+TEST(McmApprox, HandlesStarPathology) {
+  // Without preprocessing the optimum is far from linear in n; the
+  // algorithm must still approximate well.
+  Rng rng(8);
+  Graph g = graph::star_pathology(12, 10, rng);
+  const auto r = mcm_planar_approx(g, 0.3);
+  EXPECT_TRUE(seq::is_valid_matching(g, r.mates));
+  const int opt = seq::matching_size(seq::max_cardinality_matching(g));
+  EXPECT_GE(r.matching_size + 1e-9, (1.0 - 0.3) * opt);
+  EXPECT_GT(r.removed_vertices, 0);
+}
+
+// ---- Theorem 1.1: maximum weight matching -----------------------------------
+
+TEST(MwmApprox, ValidAndMonotoneVsGreedy) {
+  Rng rng(9);
+  Graph base = graph::random_planar(150, 280, rng);
+  Graph g = base.with_weights(graph::random_weights(base, 100, rng));
+  const auto r = mwm_approx(g, 0.3);
+  EXPECT_TRUE(seq::is_valid_matching(g, r.mates));
+  const auto greedy = seq::greedy_weight_matching(g);
+  EXPECT_GE(r.weight, seq::matching_weight(g, greedy));
+}
+
+TEST(MwmApprox, AchievesOneMinusEpsOnWeightedPlanar) {
+  Rng rng(10);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph base = graph::random_planar(120, 200, rng);
+    Graph g = base.with_weights(graph::random_weights(base, 1000, rng));
+    const double eps = 0.25;
+    const auto r = mwm_approx(g, eps, {.framework = {.seed = 100 + trial}});
+    const auto exact = seq::max_weight_matching(g);
+    EXPECT_GE(r.weight + 1e-9, (1.0 - eps) * seq::matching_weight(g, exact))
+        << "trial " << trial;
+  }
+}
+
+TEST(MwmApprox, HandlesHighWeightSpread) {
+  Rng rng(11);
+  Graph base = graph::grid(10, 10);
+  Graph g = base.with_weights(graph::random_weights(base, 1'000'000, rng));
+  const auto r = mwm_approx(g, 0.3);
+  const auto exact = seq::max_weight_matching(g);
+  EXPECT_GE(r.weight + 1e-9, 0.7 * seq::matching_weight(g, exact));
+}
+
+// ---- Theorem 1.3: correlation clustering ------------------------------------
+
+TEST(CorrelationApprox, BeatsHalfEdgesBaseline) {
+  Rng rng(12);
+  Graph base = graph::random_maximal_planar(150, rng);
+  Graph g = base.with_signs(graph::planted_signs(base, 10, 0.05, rng));
+  const auto r = correlation_approx(g, 0.3);
+  // γ(G) >= |E|/2 and the algorithm is (1-ε)-approximate, so certainly:
+  EXPECT_GE(r.score, (1.0 - 0.3) * g.num_edges() / 2.0);
+}
+
+TEST(CorrelationApprox, NearOptimalOnPlantedInstances) {
+  // With tiny noise the planted clustering is near-perfect; the algorithm
+  // should recover almost all agreements.
+  Rng rng(13);
+  Graph base = graph::grid(10, 10);
+  Graph g = base.with_signs(graph::planted_signs(base, 8, 0.02, rng));
+  const auto r = correlation_approx(g, 0.2);
+  EXPECT_GE(static_cast<double>(r.score), 0.75 * g.num_edges());
+}
+
+TEST(CorrelationApprox, ExactOnTinyClusters) {
+  // C12 has conductance 1/6 > the derived φ, so it stays one cluster of 12
+  // vertices <= the exact-DP threshold: the leader solves it optimally.
+  Rng rng(14);
+  Graph base = graph::cycle(12);
+  Graph g = base.with_signs(graph::planted_signs(base, 4, 0.1, rng));
+  const auto r = correlation_approx(g, 0.3);
+  EXPECT_GT(r.clusters_exact, 0);
+  // Cross-check against the exact optimum on the whole (single-cluster)
+  // graph.
+  const auto exact = seq::correlation_exact(g);
+  if (r.num_clusters == 1) {
+    EXPECT_EQ(r.score, seq::agreement_score(g, exact));
+  }
+}
+
+// ---- Theorem 1.4: property testing ---------------------------------------------
+
+TEST(PropertyTest, PlanarInputsAlwaysAccept) {
+  Rng rng(15);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = graph::random_maximal_planar(150, rng);
+    const auto r = property_test(g, seq::planar_property(), 0.2,
+                                 {.framework = {.seed = 55 + trial}});
+    EXPECT_TRUE(r.accept) << "trial " << trial
+                          << " deg-cond fails: "
+                          << r.clusters_failing_degree_condition;
+  }
+}
+
+TEST(PropertyTest, FarFromPlanarInputsReject) {
+  Rng rng(16);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph base = graph::random_maximal_planar(150, rng);
+    // Add 0.5|E| random edges: far from planar.
+    Graph g = graph::plus_random_edges(base, base.num_edges() / 2, rng);
+    const auto r = property_test(g, seq::planar_property(), 0.2,
+                                 {.framework = {.seed = 66 + trial}});
+    EXPECT_FALSE(r.accept) << "trial " << trial;
+  }
+}
+
+TEST(PropertyTest, ForestProperty) {
+  Rng rng(17);
+  Graph tree = graph::random_tree(200, rng);
+  EXPECT_TRUE(property_test(tree, seq::forest_property(), 0.2).accept);
+  Graph not_forest = graph::plus_random_edges(tree, 100, rng);
+  EXPECT_FALSE(property_test(not_forest, seq::forest_property(), 0.2).accept);
+}
+
+TEST(PropertyTest, OuterplanarProperty) {
+  Rng rng(18);
+  Graph yes = graph::random_outerplanar(120, rng);
+  EXPECT_TRUE(property_test(yes, seq::outerplanar_property(), 0.2).accept);
+  Graph no = graph::random_maximal_planar(120, rng);  // far from outerplanar
+  EXPECT_FALSE(property_test(no, seq::outerplanar_property(), 0.25).accept);
+}
+
+TEST(PropertyTest, Treewidth2Property) {
+  Rng rng(19);
+  Graph yes = graph::random_two_tree(150, rng);
+  EXPECT_TRUE(property_test(yes, seq::treewidth2_property(), 0.2).accept);
+}
+
+// ---- Theorem 1.5: low-diameter decomposition -------------------------------------
+
+TEST(LddApprox, CutAndDiameterBounds) {
+  Graph g = graph::grid(16, 16);
+  const double eps = 0.25;
+  const auto r = ldd_approx(g, eps);
+  EXPECT_LE(r.cut_edges, eps * g.num_edges() + 1e-9);
+  // D = O(1/eps): generous constant 40.
+  EXPECT_LE(r.max_diameter, 40.0 / eps);
+  // Every vertex labeled.
+  for (int c : r.cluster_of) EXPECT_GE(c, 0);
+}
+
+TEST(LddApprox, CycleMatchesOptimalTradeoff) {
+  // On a cycle any (ε, D) decomposition needs D = Ω(1/ε): segments of
+  // length 1/eps. Our output must be within a constant of that.
+  Graph g = graph::cycle(400);
+  const double eps = 0.1;
+  const auto r = ldd_approx(g, eps);
+  EXPECT_LE(r.cut_edges, eps * g.num_edges() + 1e-9);
+  EXPECT_GE(r.max_diameter, 1);
+  EXPECT_LE(r.max_diameter, 60.0 / eps);
+}
+
+TEST(LddApprox, ClustersAreConnected) {
+  Rng rng(20);
+  Graph g = graph::random_maximal_planar(250, rng);
+  const auto r = ldd_approx(g, 0.3);
+  std::vector<std::vector<VertexId>> members(r.num_clusters);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (r.cluster_of[v] >= 0) members[r.cluster_of[v]].push_back(v);
+  }
+  for (const auto& m : members) {
+    if (m.size() <= 1) continue;
+    const auto sub = graph::induced_subgraph(g, m);
+    EXPECT_TRUE(graph::is_connected(sub.graph));
+  }
+}
+
+}  // namespace
+}  // namespace ecd::core

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/local_gather.h"
+#include "src/baselines/luby_mis.h"
+#include "src/baselines/maximal_matching.h"
+#include "src/baselines/mpx_ldd.h"
+#include "src/graph/metrics.h"
+#include "src/graph/subgraph.h"
+#include "src/baselines/pivot_correlation.h"
+#include "src/congest/primitives.h"
+#include "src/expander/decomposition.h"
+#include "src/graph/generators.h"
+#include "src/seq/ldd.h"
+#include "src/seq/matching.h"
+#include "src/seq/mis.h"
+
+namespace ecd::baselines {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+using graph::VertexId;
+
+TEST(LubyMis, OutputIsMaximalIndependentSet) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = graph::random_maximal_planar(100, rng);
+    const auto r = luby_mis(g, 17 + trial);
+    ASSERT_TRUE(seq::is_independent_set(g, r.independent_set));
+    // Maximality: every vertex is in the set or adjacent to it.
+    std::vector<bool> covered(g.num_vertices(), false);
+    for (VertexId v : r.independent_set) {
+      covered[v] = true;
+      for (VertexId u : g.neighbors(v)) covered[u] = true;
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_TRUE(covered[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(LubyMis, PhasesLogarithmic) {
+  Rng rng(2);
+  Graph g = graph::random_maximal_planar(2000, rng);
+  const auto r = luby_mis(g, 5);
+  EXPECT_LE(r.phases, 40);
+}
+
+TEST(LubyMis, RespectsBandwidth) {
+  Rng rng(3);
+  Graph g = graph::random_regular(64, 6, rng);
+  EXPECT_NO_THROW(luby_mis(g, 7));  // bandwidth 1 enforced by default
+}
+
+TEST(DistributedMatching, OutputIsMaximalMatching) {
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = graph::random_planar(120, 200, rng);
+    const auto r = distributed_maximal_matching(g, 23 + trial);
+    ASSERT_TRUE(seq::is_valid_matching(g, r.mates));
+    for (const graph::Edge& e : g.edges()) {
+      EXPECT_FALSE(r.mates[e.u] == graph::kInvalidVertex &&
+                   r.mates[e.v] == graph::kInvalidVertex)
+          << e.u << "-" << e.v;
+    }
+  }
+}
+
+TEST(DistributedMatching, HalfApproximation) {
+  Rng rng(5);
+  Graph g = graph::grid(12, 12);
+  const auto r = distributed_maximal_matching(g, 31);
+  const int opt = seq::matching_size(seq::max_cardinality_matching(g));
+  EXPECT_GE(2 * seq::matching_size(r.mates), opt);
+}
+
+TEST(MpxLdd, CutFractionWithinBudgetOnAverage) {
+  Rng rng(6);
+  Graph g = graph::grid(20, 20);
+  double total_fraction = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const auto r = mpx_ldd(g, 0.3, rng);
+    total_fraction += static_cast<double>(r.cut_edges) / g.num_edges();
+  }
+  // E[cut] <= eps |E| (Markov slack 1.5x for the empirical mean).
+  EXPECT_LE(total_fraction / trials, 0.3 * 1.5);
+}
+
+TEST(MpxLdd, DiameterLogOverEps) {
+  Rng rng(7);
+  Graph g = graph::grid(24, 24);
+  const auto r = mpx_ldd(g, 0.2, rng);
+  const int d = seq::ldd_max_diameter(g, r.cluster_of);
+  EXPECT_LE(d, 2 * 30.0 / 0.2);  // O(log n / eps) with slack
+  // A single cluster is legitimate here: the shift radius O(log n / beta)
+  // can exceed the grid diameter. With a larger beta the graph must split.
+  const auto fine = mpx_ldd(g, 0.9, rng);
+  EXPECT_GT(fine.num_clusters, 1);
+}
+
+TEST(MpxLdd, DistributedMatchesContractAndRuns) {
+  Graph g = graph::grid(16, 16);
+  const auto r = mpx_ldd_distributed(g, 0.3, 11);
+  // Every vertex claimed; clusters connected; rounds ~ max_shift + radius.
+  for (int c : r.clustering.cluster_of) EXPECT_GE(c, 0);
+  EXPECT_GT(r.rounds, 0);
+  std::vector<std::vector<VertexId>> members(r.clustering.num_clusters);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    members[r.clustering.cluster_of[v]].push_back(v);
+  }
+  for (const auto& m : members) {
+    if (m.size() < 2) continue;
+    const auto sub = graph::induced_subgraph(g, m);
+    EXPECT_TRUE(graph::is_connected(sub.graph));
+  }
+}
+
+TEST(MpxLdd, DistributedCutFractionReasonable) {
+  Graph g = graph::grid(20, 20);
+  double total = 0.0;
+  for (int t = 0; t < 8; ++t) {
+    const auto r = mpx_ldd_distributed(g, 0.3, 100 + t);
+    total += static_cast<double>(r.clustering.cut_edges) / g.num_edges();
+  }
+  EXPECT_LE(total / 8, 0.3 * 1.6);  // E[cut] <= eps|E| with sampling slack
+}
+
+TEST(LocalGather, LeaderLearnsWholeClusterButMessagesExplode) {
+  Rng rng(8);
+  Graph g = graph::random_maximal_planar(150, rng);
+  const auto d = expander::expander_decompose(g, 0.2);
+  const auto leaders = congest::elect_cluster_leaders(g, d.cluster_of);
+  const auto r = local_model_gather(g, d.cluster_of, leaders.leader_of);
+  // Edge counts match the decomposition clusters.
+  std::vector<std::int64_t> expected(d.num_clusters, 0);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!d.is_inter_cluster[e]) ++expected[d.cluster_of[g.edge(e).u]];
+  }
+  for (int c = 0; c < d.num_clusters; ++c) {
+    EXPECT_EQ(r.edges_learned[c], expected[c]) << "cluster " << c;
+  }
+  // The LOCAL-model price: some message carried far more than O(log n) bits.
+  EXPECT_GT(r.max_message_words, congest::kMaxMessageWords);
+}
+
+TEST(PivotCorrelation, ProducesValidLabels) {
+  Rng rng(9);
+  Graph base = graph::grid(8, 8);
+  Graph g = base.with_signs(graph::planted_signs(base, 8, 0.1, rng));
+  const auto labels = pivot_correlation(g, rng);
+  ASSERT_EQ(static_cast<int>(labels.size()), g.num_vertices());
+  for (int l : labels) EXPECT_GE(l, 0);
+  // Score is computable (sanity).
+  EXPECT_GE(seq::agreement_score(g, labels), 0);
+}
+
+}  // namespace
+}  // namespace ecd::baselines

@@ -1,0 +1,489 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/congest/network.h"
+#include "src/congest/primitives.h"
+#include "src/congest/round_ledger.h"
+#include "src/expander/decomposition.h"
+#include "src/graph/generators.h"
+#include "src/graph/metrics.h"
+
+namespace ecd::congest {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+using graph::VertexId;
+
+// A toy algorithm that sends its id once and stops.
+class PingAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    if (ctx.round() == 0) {
+      for (int p = 0; p < ctx.num_ports(); ++p) ctx.send(p, {{ctx.id()}});
+      return;
+    }
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      for (const Message& m : ctx.inbox(p)) {
+        received_.push_back(m.words[0]);
+        EXPECT_EQ(m.words[0], ctx.neighbor(p));  // delivery on the right port
+      }
+    }
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+  const std::vector<std::int64_t>& received() const { return received_; }
+
+ private:
+  bool done_ = false;
+  std::vector<std::int64_t> received_;
+};
+
+TEST(Network, DeliversMessagesOnCorrectPorts) {
+  Graph g = graph::cycle(6);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  std::vector<PingAlgo*> typed;
+  for (int v = 0; v < 6; ++v) {
+    auto a = std::make_unique<PingAlgo>();
+    typed.push_back(a.get());
+    algos.push_back(std::move(a));
+  }
+  Network net(g);
+  const RunStats stats = net.run(algos);
+  EXPECT_EQ(stats.rounds, 2);
+  EXPECT_EQ(stats.messages_sent, 12);
+  for (auto* a : typed) EXPECT_EQ(a->received().size(), 2u);
+}
+
+class SpammerAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    // Two messages on the same port in one round: must violate bandwidth.
+    ctx.send(0, {{1}});
+    ctx.send(0, {{2}});
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Network, EnforcesPerEdgeBandwidth) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<SpammerAlgo>());
+  algos.push_back(std::make_unique<SpammerAlgo>());
+  Network net(g);
+  EXPECT_THROW(net.run(algos), CongestionError);
+}
+
+TEST(Network, LocalModeAllowsSpam) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<SpammerAlgo>());
+  algos.push_back(std::make_unique<SpammerAlgo>());
+  NetworkOptions opt;
+  opt.enforce_bandwidth = false;
+  Network net(g, opt);
+  EXPECT_NO_THROW(net.run(algos));
+}
+
+class FatMessageAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    Message m;
+    m.words.assign(kMaxMessageWords + 1, 7);
+    ctx.send(0, std::move(m));
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Network, EnforcesMessageSize) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<FatMessageAlgo>());
+  algos.push_back(std::make_unique<FatMessageAlgo>());
+  Network net(g);
+  EXPECT_THROW(net.run(algos), CongestionError);
+}
+
+std::vector<int> single_cluster(const Graph& g) {
+  return std::vector<int>(g.num_vertices(), 0);
+}
+
+TEST(LeaderElection, PicksMaxDegreeMaxIdVertex) {
+  Graph g = graph::star(5);  // center 0 has degree 5
+  const auto r = elect_cluster_leaders(g, single_cluster(g));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.leader_of[v], 0);
+  }
+}
+
+TEST(LeaderElection, TieBreaksById) {
+  Graph g = graph::cycle(7);  // all degree 2: highest id wins
+  const auto r = elect_cluster_leaders(g, single_cluster(g));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.leader_of[v], 6);
+  }
+}
+
+TEST(LeaderElection, RespectsClusterBoundaries) {
+  Graph g = graph::path(6);
+  std::vector<int> cluster{0, 0, 0, 1, 1, 1};
+  const auto r = elect_cluster_leaders(g, cluster);
+  // Cluster {0,1,2}: vertex 1 has intra-degree 2 -> leader 1.
+  EXPECT_EQ(r.leader_of[0], 1);
+  EXPECT_EQ(r.leader_of[1], 1);
+  EXPECT_EQ(r.leader_of[2], 1);
+  // Cluster {3,4,5}: vertex 4 has intra-degree 2 -> leader 4.
+  EXPECT_EQ(r.leader_of[5], 4);
+}
+
+TEST(LeaderElection, RoundsTrackClusterDiameter) {
+  Graph g = graph::path(40);
+  const auto r = elect_cluster_leaders(g, single_cluster(g));
+  // Information must traverse the path: rounds >= diameter.
+  EXPECT_GE(r.stats.rounds, 39);
+  EXPECT_LE(r.stats.rounds, 39 + 3);
+}
+
+TEST(BfsTree, DepthsMatchBfsDistances) {
+  Rng rng(3);
+  Graph g = graph::random_maximal_planar(60, rng);
+  const auto leaders = elect_cluster_leaders(g, single_cluster(g));
+  const auto tree =
+      build_cluster_bfs_trees(g, single_cluster(g), leaders.leader_of);
+  const auto dist = graph::bfs_distances(g, leaders.leader_of[0]);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(tree.depth[v], dist[v]) << "v=" << v;
+    if (v != leaders.leader_of[0]) {
+      ASSERT_NE(tree.parent[v], graph::kInvalidVertex);
+      EXPECT_EQ(tree.depth[tree.parent[v]], tree.depth[v] - 1);
+    }
+  }
+}
+
+TEST(Orientation, OutDegreeBounded) {
+  Rng rng(5);
+  Graph g = graph::random_maximal_planar(150, rng);
+  const int threshold = graph::degeneracy(g).degeneracy;  // <= 5 planar
+  const auto r = orient_cluster_edges(g, single_cluster(g), threshold);
+  EXPECT_LE(r.max_out_degree, threshold);
+  // Every intra-cluster edge owned exactly once.
+  std::vector<int> owners(g.num_edges(), 0);
+  for (const auto& list : r.owned) {
+    for (graph::EdgeId e : list) ++owners[e];
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(owners[e], 1) << "edge " << e;
+  }
+}
+
+TEST(Orientation, PhasesLogarithmic) {
+  Rng rng(7);
+  Graph g = graph::random_maximal_planar(500, rng);
+  const auto r = orient_cluster_edges(g, single_cluster(g), 5);
+  EXPECT_LE(r.peeling_phases, 40);  // O(log n) with a generous constant
+}
+
+TEST(Orientation, RespectsClusters) {
+  Graph g = graph::path(6);
+  std::vector<int> cluster{0, 0, 0, 1, 1, 1};
+  const auto r = orient_cluster_edges(g, cluster, 2);
+  std::vector<int> owners(g.num_edges(), 0);
+  for (const auto& list : r.owned) {
+    for (graph::EdgeId e : list) ++owners[e];
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    EXPECT_EQ(owners[e], cluster[ed.u] == cluster[ed.v] ? 1 : 0);
+  }
+}
+
+TEST(Gather, AllTokensReachLeader) {
+  Rng rng(9);
+  Graph g = graph::random_maximal_planar(40, rng);
+  const auto cluster = single_cluster(g);
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tokens[v].push_back({v, {v, 1000 + v}});
+  }
+  GatherOptions opt;
+  opt.net.bandwidth_tokens = 4;
+  const auto r = random_walk_gather(g, cluster, leaders.leader_of, tokens, opt);
+  ASSERT_TRUE(r.complete);
+  ASSERT_EQ(r.delivered.size(), 1u);
+  EXPECT_EQ(r.delivered[0].size(), static_cast<std::size_t>(g.num_vertices()));
+  // Payloads intact.
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (const auto& payload : r.delivered[0]) {
+    ASSERT_EQ(payload.size(), 2u);
+    EXPECT_EQ(payload[1], 1000 + payload[0]);
+    seen[payload[0]] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Gather, WorksPerClusterInParallel) {
+  Graph g = graph::grid(4, 8);
+  std::vector<int> cluster(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) cluster[v] = (v % 8) / 4;
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tokens[v].push_back({v, {v}});
+  }
+  GatherOptions opt;
+  opt.net.bandwidth_tokens = 4;
+  const auto r = random_walk_gather(g, cluster, leaders.leader_of, tokens, opt);
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.delivered[0].size() + r.delivered[1].size(),
+            static_cast<std::size_t>(g.num_vertices()));
+  for (const auto& payload : r.delivered[0]) {
+    EXPECT_EQ(cluster[payload[0]], 0);
+  }
+}
+
+TEST(Broadcast, EveryVertexLearnsLeaderValue) {
+  Graph g = graph::grid(5, 5);
+  const auto cluster = single_cluster(g);
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  std::vector<std::int64_t> values(g.num_vertices(), 0);
+  values[leaders.leader_of[0]] = 42;
+  const auto r = broadcast_from_leaders(g, cluster, leaders.leader_of, values);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.value[v], 42);
+  }
+}
+
+TEST(DiameterCheck, AcceptsTightClusters) {
+  Graph g = graph::grid(4, 4);  // diameter 6
+  const auto r = check_cluster_diameter(g, single_cluster(g), 6);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(r.within_bound[v]);
+  }
+}
+
+TEST(DiameterCheck, FlagsWideClusters) {
+  Graph g = graph::path(30);  // diameter 29 >> 2*3+1
+  const auto r = check_cluster_diameter(g, single_cluster(g), 3);
+  int flagged = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    flagged += !r.within_bound[v];
+  }
+  EXPECT_GT(flagged, 0);
+}
+
+TEST(ReverseDelivery, RepliesFollowRecordedPathsBackwards) {
+  Rng rng(19);
+  Graph g = graph::random_maximal_planar(40, rng);
+  const auto cluster = single_cluster(g);
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tokens[v].push_back({v, {v}});
+  }
+  GatherOptions opt;
+  opt.net.bandwidth_tokens = 3;
+  const auto gather =
+      random_walk_gather(g, cluster, leaders.leader_of, tokens, opt);
+  ASSERT_TRUE(gather.complete);
+  // Reply to every token with 1000 + origin.
+  std::vector<std::vector<std::int64_t>> reply(gather.traces.size());
+  for (std::size_t id = 0; id < gather.traces.size(); ++id) {
+    reply[id] = {1000 + gather.traces[id].origin};
+  }
+  const auto r = reverse_delivery(g.num_vertices(), gather, reply, 3);
+  EXPECT_TRUE(r.load_ok);
+  EXPECT_LE(r.stats.rounds, gather.stats.rounds);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(r.received[v].size(), 1u) << "vertex " << v;
+    EXPECT_EQ(r.received[v][0][0], 1000 + v);
+  }
+  // Message count mirrors the forward hops of the replied tokens.
+  EXPECT_EQ(r.stats.messages_sent,
+            gather.stats.messages_sent);
+}
+
+TEST(ReverseDelivery, PartialRepliesSkipUnansweredTokens) {
+  Rng rng(20);
+  Graph g = graph::grid(5, 5);
+  const auto cluster = single_cluster(g);
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tokens[v].push_back({v, {v}});
+  }
+  GatherOptions opt;
+  opt.net.bandwidth_tokens = 4;
+  const auto gather =
+      random_walk_gather(g, cluster, leaders.leader_of, tokens, opt);
+  ASSERT_TRUE(gather.complete);
+  std::vector<std::vector<std::int64_t>> reply(gather.traces.size());
+  reply[0] = {7};  // only token 0 gets a reply
+  const auto r = reverse_delivery(g.num_vertices(), gather, reply, 4);
+  EXPECT_TRUE(r.load_ok);
+  int delivered = 0;
+  for (const auto& per_vertex : r.received) {
+    delivered += static_cast<int>(per_vertex.size());
+  }
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(r.received[gather.traces[0].origin][0][0], 7);
+}
+
+TEST(TreeGather, DeliversAllTokensDeterministically) {
+  Rng rng(21);
+  Graph g = graph::random_maximal_planar(50, rng);
+  const auto cluster = single_cluster(g);
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  const auto tree = build_cluster_bfs_trees(g, cluster, leaders.leader_of);
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tokens[v].push_back({v, {v, 7 * v}});
+  }
+  NetworkOptions net;
+  net.bandwidth_tokens = 2;
+  const auto r = tree_gather(g, cluster, leaders.leader_of, tree.parent,
+                             tokens, net);
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.delivered[0].size(), static_cast<std::size_t>(g.num_vertices()));
+  for (const auto& payload : r.delivered[0]) {
+    EXPECT_EQ(payload[1], 7 * payload[0]);
+  }
+  // Determinism: a second run delivers in the same number of rounds.
+  const auto r2 = tree_gather(g, cluster, leaders.leader_of, tree.parent,
+                              tokens, net);
+  EXPECT_EQ(r.stats.rounds, r2.stats.rounds);
+}
+
+TEST(TreeGather, RootCongestionCostsRounds) {
+  // On a path rooted at one end, all n tokens serialize over the root edge:
+  // rounds ~ n at bandwidth 1 — the congestion Lemma 2.5 is designed to
+  // beat.
+  Graph g = graph::path(40);
+  std::vector<int> cluster(40, 0);
+  std::vector<VertexId> leader(40, 0);
+  std::vector<VertexId> parent(40);
+  parent[0] = graph::kInvalidVertex;
+  for (VertexId v = 1; v < 40; ++v) parent[v] = v - 1;
+  std::vector<std::vector<GatherToken>> tokens(40);
+  for (VertexId v = 0; v < 40; ++v) tokens[v].push_back({v, {v}});
+  const auto r = tree_gather(g, cluster, leader, parent, tokens);
+  ASSERT_TRUE(r.complete);
+  EXPECT_GE(r.stats.rounds, 39);
+}
+
+TEST(Convergecast, SumsValuesPerCluster) {
+  Graph g = graph::grid(6, 6);
+  const auto cluster = single_cluster(g);
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  const auto tree = build_cluster_bfs_trees(g, cluster, leaders.leader_of);
+  std::vector<std::int64_t> values(g.num_vertices());
+  std::int64_t expected = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    values[v] = v * v + 1;
+    expected += values[v];
+  }
+  const auto r = convergecast_sum(g, cluster, leaders.leader_of, tree.parent,
+                                  tree.depth, values);
+  ASSERT_EQ(r.sum.size(), 1u);
+  EXPECT_EQ(r.sum[0], expected);
+}
+
+TEST(Convergecast, MultiClusterSums) {
+  Graph g = graph::path(6);
+  std::vector<int> cluster{0, 0, 0, 1, 1, 1};
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  const auto tree = build_cluster_bfs_trees(g, cluster, leaders.leader_of);
+  std::vector<std::int64_t> values{1, 2, 4, 8, 16, 32};
+  const auto r = convergecast_sum(g, cluster, leaders.leader_of, tree.parent,
+                                  tree.depth, values);
+  ASSERT_EQ(r.sum.size(), 2u);
+  EXPECT_EQ(r.sum[0], 7);
+  EXPECT_EQ(r.sum[1], 56);
+}
+
+TEST(Gather, ReportsIncompleteOnRoundCap) {
+  Rng rng(23);
+  Graph g = graph::random_maximal_planar(60, rng);
+  const auto cluster = single_cluster(g);
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tokens[v].push_back({v, {v}});
+  }
+  GatherOptions opt;
+  opt.net.max_rounds = 2;  // far too few: the run aborts mid-delivery
+  EXPECT_THROW(
+      random_walk_gather(g, cluster, leaders.leader_of, tokens, opt),
+      std::runtime_error);
+}
+
+TEST(RoundLedger, SeparatesMeasuredFromModeled) {
+  RoundLedger ledger;
+  ledger.add_measured("gather", 10);
+  ledger.add_modeled("decomposition", 100);
+  ledger.add_measured("broadcast", 5);
+  EXPECT_EQ(ledger.measured_total(), 15);
+  EXPECT_EQ(ledger.modeled_total(), 100);
+  EXPECT_EQ(ledger.total(), 115);
+  RoundLedger other;
+  other.add_measured("extra", 1);
+  ledger.merge(other);
+  EXPECT_EQ(ledger.measured_total(), 16);
+  EXPECT_NE(ledger.to_string().find("[modeled]"), std::string::npos);
+}
+
+TEST(RoundLedger, ModeledFormulaGrowsWithNAndShrinkingEps) {
+  EXPECT_LT(modeled_decomposition_rounds(1000, 0.2, false),
+            modeled_decomposition_rounds(100000, 0.2, false));
+  EXPECT_LT(modeled_decomposition_rounds(1000, 0.2, false),
+            modeled_decomposition_rounds(1000, 0.05, false));
+  // Deterministic formula is subpolynomial but larger than polylog.
+  EXPECT_GT(modeled_decomposition_rounds(100000, 0.2, true),
+            modeled_decomposition_rounds(100000, 0.2, false));
+}
+
+// Integration: primitives run on decomposition clusters under strict
+// CONGEST enforcement (bandwidth 1 token/edge/round for control traffic).
+TEST(Integration, PrimitivesOnDecomposedGrid) {
+  Graph g = graph::grid(10, 10);
+  const auto d = expander::expander_decompose(g, 0.25);
+  const auto leaders = elect_cluster_leaders(g, d.cluster_of);
+  const auto tree = build_cluster_bfs_trees(g, d.cluster_of, leaders.leader_of);
+  const auto orient = orient_cluster_edges(g, d.cluster_of, 4);
+  // Gather each owned edge to the leader: reconstruct every cluster's edges.
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  std::int64_t expected_edges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (graph::EdgeId e : orient.owned[v]) {
+      tokens[v].push_back({v, {g.edge(e).u, g.edge(e).v}});
+      ++expected_edges;
+    }
+  }
+  GatherOptions opt;
+  opt.net.bandwidth_tokens = 7;  // ceil(log2 n), the Lemma 2.4 batch size
+  const auto r = random_walk_gather(g, d.cluster_of, leaders.leader_of,
+                                    tokens, opt);
+  ASSERT_TRUE(r.complete);
+  std::int64_t received = 0;
+  for (const auto& cluster_msgs : r.delivered) {
+    received += static_cast<std::int64_t>(cluster_msgs.size());
+    for (const auto& payload : cluster_msgs) {
+      // Every delivered edge is intra-cluster.
+      EXPECT_EQ(d.cluster_of[payload[0]], d.cluster_of[payload[1]]);
+    }
+  }
+  EXPECT_EQ(received, expected_edges);
+  EXPECT_GT(tree.stats.rounds, 0);
+}
+
+}  // namespace
+}  // namespace ecd::congest

@@ -1,0 +1,99 @@
+// The fully distributed decomposition must meet the same contract as the
+// host-side construction — with every round executed on the simulator.
+#include <gtest/gtest.h>
+
+#include "src/expander/conductance.h"
+#include "src/expander/distributed_decomposition.h"
+#include "src/graph/generators.h"
+#include "src/graph/metrics.h"
+#include "src/graph/subgraph.h"
+
+namespace ecd::expander {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+using graph::VertexId;
+
+void check_contract(const Graph& g, double eps,
+                    const DistributedDecompositionResult& r) {
+  const auto& d = r.decomposition;
+  EXPECT_LE(d.inter_cluster_edges, eps * g.num_edges() + 1e-9);
+  int covered = 0;
+  for (const auto& members : cluster_members(d)) {
+    covered += static_cast<int>(members.size());
+    if (members.size() >= 2) {
+      const auto sub = graph::induced_subgraph(g, members);
+      EXPECT_TRUE(graph::is_connected(sub.graph));
+    }
+  }
+  EXPECT_EQ(covered, g.num_vertices());
+  EXPECT_GT(r.measured_rounds, 0);
+}
+
+TEST(DistributedDecomposition, ContractOnGrid) {
+  Graph g = graph::grid(12, 12);
+  const auto r = distributed_expander_decompose(g, 0.3);
+  check_contract(g, 0.3, r);
+}
+
+TEST(DistributedDecomposition, ContractOnTriangulation) {
+  Rng rng(3);
+  Graph g = graph::random_maximal_planar(200, rng);
+  const auto r = distributed_expander_decompose(g, 0.25);
+  check_contract(g, 0.25, r);
+}
+
+TEST(DistributedDecomposition, ContractOnTree) {
+  Rng rng(5);
+  Graph g = graph::random_tree(150, rng);
+  const auto r = distributed_expander_decompose(g, 0.3);
+  check_contract(g, 0.3, r);
+}
+
+TEST(DistributedDecomposition, SplitsTheBarbell) {
+  Graph g = graph::barbell(10, 2);
+  DistributedDecompositionOptions opt;
+  opt.phi = 0.05;
+  const auto r = distributed_expander_decompose(g, 0.3, opt);
+  check_contract(g, 0.3, r);
+  // The two cliques must separate: the bridge is the only sparse cut.
+  EXPECT_NE(r.decomposition.cluster_of[0],
+            r.decomposition.cluster_of[g.num_vertices() - 1]);
+  EXPECT_GE(r.levels, 1);
+}
+
+TEST(DistributedDecomposition, ForcedSplitsOnGridStayWithinBudget) {
+  Graph g = graph::grid(14, 14);
+  DistributedDecompositionOptions opt;
+  opt.phi = 0.06;
+  const auto r = distributed_expander_decompose(g, 0.45, opt);
+  check_contract(g, 0.45, r);
+  EXPECT_GT(r.decomposition.num_clusters, 1);
+}
+
+TEST(DistributedDecomposition, MeasuredRoundsGrowWithLevels) {
+  // More levels of splitting => more measured rounds.
+  Graph g = graph::grid(12, 12);
+  DistributedDecompositionOptions flat;
+  flat.phi = 1e-5;  // nothing splits: one level
+  flat.power_iterations = 200;
+  DistributedDecompositionOptions split;
+  split.phi = 0.08;
+  split.power_iterations = 200;
+  const auto r_flat = distributed_expander_decompose(g, 0.45, flat);
+  const auto r_split = distributed_expander_decompose(g, 0.45, split);
+  EXPECT_LE(r_flat.levels, r_split.levels);
+  EXPECT_LT(r_flat.measured_rounds, r_split.measured_rounds);
+}
+
+TEST(DistributedDecomposition, DisconnectedInput) {
+  Rng rng(7);
+  Graph g = graph::disjoint_union({graph::grid(6, 6), graph::cycle(20)});
+  const auto r = distributed_expander_decompose(g, 0.3);
+  check_contract(g, 0.3, r);
+  EXPECT_GE(r.decomposition.num_clusters, 2);
+}
+
+}  // namespace
+}  // namespace ecd::expander

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/framework.h"
+#include "src/graph/generators.h"
+#include "src/graph/metrics.h"
+#include "src/graph/subgraph.h"
+
+namespace ecd::core {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+using graph::VertexId;
+
+// The decisive faithfulness check: the cluster subgraph reconstructed by
+// the leader *from delivered tokens* must equal the induced subgraph
+// G[V_i] (same vertex set, same edges, same attributes).
+void check_reconstruction(const Graph& g, const Partition& p) {
+  ASSERT_TRUE(p.gather_complete);
+  for (const Cluster& cluster : p.clusters) {
+    // Vertex sets agree.
+    std::vector<VertexId> reconstructed(cluster.subgraph.to_parent);
+    std::vector<VertexId> expected(cluster.members);
+    std::sort(reconstructed.begin(), reconstructed.end());
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(reconstructed, expected);
+    // Edge sets agree with G[V_i].
+    const auto reference = graph::induced_subgraph(g, cluster.members);
+    ASSERT_EQ(cluster.subgraph.graph.num_edges(),
+              reference.graph.num_edges());
+    for (graph::EdgeId e = 0; e < cluster.subgraph.graph.num_edges(); ++e) {
+      const graph::Edge ed = cluster.subgraph.graph.edge(e);
+      const VertexId pu = cluster.subgraph.to_parent[ed.u];
+      const VertexId pv = cluster.subgraph.to_parent[ed.v];
+      const graph::EdgeId parent_edge = g.find_edge(pu, pv);
+      ASSERT_NE(parent_edge, graph::kInvalidEdge);
+      EXPECT_EQ(cluster.subgraph.graph.weight(e), g.weight(parent_edge));
+      if (g.is_signed()) {
+        EXPECT_EQ(cluster.subgraph.graph.sign(e), g.sign(parent_edge));
+      }
+    }
+    // Leader is a member and its local id is correct.
+    ASSERT_GE(cluster.leader_local, 0);
+    EXPECT_EQ(cluster.subgraph.to_parent[cluster.leader_local],
+              cluster.leader);
+  }
+}
+
+TEST(Framework, GathersGridTopologyExactly) {
+  Graph g = graph::grid(12, 12);
+  const auto p = partition_and_gather(g, 0.3);
+  check_reconstruction(g, p);
+  EXPECT_LE(p.decomposition.inter_cluster_edges,
+            0.3 * std::min(g.num_vertices(), g.num_edges()) + 1e-9);
+}
+
+TEST(Framework, GathersWeightedSignedPlanarTopology) {
+  Rng rng(5);
+  Graph base = graph::random_maximal_planar(120, rng);
+  Graph g = base.with_weights(graph::random_weights(base, 1000, rng))
+                .with_signs(graph::planted_signs(base, 12, 0.1, rng));
+  const auto p = partition_and_gather(g, 0.25);
+  check_reconstruction(g, p);
+}
+
+TEST(Framework, InterClusterBudgetAgainstMinVE) {
+  // Theorem 2.6 promises <= eps * min(|V|, |E|): check on a triangulation
+  // where |E| = 3n - 6 > |V| so the |V| bound binds.
+  Rng rng(7);
+  Graph g = graph::random_maximal_planar(200, rng);
+  const double eps = 0.2;
+  const auto p = partition_and_gather(g, eps);
+  EXPECT_LE(p.decomposition.inter_cluster_edges,
+            eps * std::min(g.num_vertices(), g.num_edges()) + 1e-9);
+}
+
+TEST(Framework, LeaderIsMaxClusterDegreeVertex) {
+  Graph g = graph::grid(10, 10);
+  const auto p = partition_and_gather(g, 0.3);
+  for (const Cluster& cluster : p.clusters) {
+    int max_deg = 0;
+    for (int i = 0; i < cluster.subgraph.graph.num_vertices(); ++i) {
+      max_deg = std::max(max_deg, cluster.subgraph.graph.degree(i));
+    }
+    EXPECT_EQ(cluster.subgraph.graph.degree(cluster.leader_local), max_deg);
+  }
+}
+
+TEST(Framework, LedgerHasModeledAndMeasuredEntries) {
+  Graph g = graph::grid(8, 8);
+  auto p = partition_and_gather(g, 0.3);
+  EXPECT_GT(p.ledger.modeled_total(), 0);
+  EXPECT_GT(p.ledger.measured_total(), 0);
+  const auto before = p.ledger.measured_total();
+  std::vector<std::int64_t> words(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) words[v] = 3 * v + 1;
+  const auto rounds = return_results(p, words, "result return");
+  EXPECT_GT(rounds, 0);
+  EXPECT_GT(p.ledger.measured_total(), before);
+}
+
+TEST(Framework, HighDegreeDiagnosticsLemma23) {
+  // Lemma 2.3: deg(v*) = Ω(φ²)·|V_i| on H-minor-free inputs. The ratio
+  // deg(v*) / (φ²·|V_i|) must be bounded away from 0 — in fact huge, since
+  // φ is tiny.
+  Rng rng(9);
+  Graph g = graph::random_maximal_planar(300, rng);
+  const auto p = partition_and_gather(g, 0.2);
+  for (const auto& d : high_degree_diagnostics(p)) {
+    EXPECT_GT(d.ratio, 1.0) << "cluster " << d.cluster;
+  }
+}
+
+TEST(Framework, DeterministicModeReproducible) {
+  Graph g = graph::grid(9, 9);
+  FrameworkOptions opt;
+  opt.deterministic = true;
+  const auto p1 = partition_and_gather(g, 0.3, opt);
+  const auto p2 = partition_and_gather(g, 0.3, opt);
+  EXPECT_EQ(p1.decomposition.cluster_of, p2.decomposition.cluster_of);
+  EXPECT_EQ(p1.leader_of, p2.leader_of);
+}
+
+TEST(Framework, WorksOnDisconnectedInput) {
+  Rng rng(11);
+  Graph g = graph::disjoint_union(
+      {graph::grid(5, 5), graph::cycle(20), graph::random_tree(30, rng)});
+  const auto p = partition_and_gather(g, 0.3);
+  check_reconstruction(g, p);
+}
+
+TEST(Framework, SingletonVerticesAreTheirOwnLeaders) {
+  // A graph with an isolated vertex.
+  Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}});
+  const auto p = partition_and_gather(g, 0.5);
+  check_reconstruction(g, p);
+  bool found_singleton = false;
+  for (const Cluster& c : p.clusters) {
+    if (c.members.size() == 1 && c.members[0] == 3) {
+      found_singleton = true;
+      EXPECT_EQ(c.leader, 3);
+    }
+  }
+  EXPECT_TRUE(found_singleton);
+}
+
+TEST(Framework, DistributedDecompositionModeIsFullyMeasured) {
+  Graph g = graph::grid(10, 10);
+  FrameworkOptions opt;
+  opt.decomposition_mode = DecompositionMode::kDistributed;
+  const auto p = partition_and_gather(g, 0.3, opt);
+  check_reconstruction(g, p);
+  // No modeled entries remain: the whole pipeline executed on the simulator.
+  EXPECT_EQ(p.ledger.modeled_total(), 0);
+  EXPECT_GT(p.ledger.measured_total(), 0);
+  bool has_measured_decomposition = false;
+  for (const auto& e : p.ledger.entries()) {
+    if (e.measured && e.label.starts_with("expander decomposition")) {
+      has_measured_decomposition = true;
+    }
+  }
+  EXPECT_TRUE(has_measured_decomposition);
+}
+
+TEST(Framework, RejectsBadEps) {
+  Graph g = graph::path(4);
+  EXPECT_THROW(partition_and_gather(g, 0.0), std::invalid_argument);
+  EXPECT_THROW(partition_and_gather(g, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecd::core

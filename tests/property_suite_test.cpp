@@ -1,0 +1,199 @@
+// Parameterized property suites: sweep (family x n x eps x seed) and check
+// the invariants every component must hold on every instance.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/framework.h"
+#include "src/core/mis.h"
+#include "src/expander/conductance.h"
+#include "src/expander/decomposition.h"
+#include "src/graph/generators.h"
+#include "src/graph/metrics.h"
+#include "src/graph/subgraph.h"
+#include "src/seq/mis.h"
+
+namespace ecd {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+using graph::VertexId;
+
+enum class Family { kGrid, kTriangulation, kRandomPlanar, kOuterplanar, kTwoTree, kTree };
+
+Graph make(Family f, int n, Rng& rng) {
+  switch (f) {
+    case Family::kGrid: {
+      int side = 1;
+      while (side * side < n) ++side;
+      return graph::grid(side, side);
+    }
+    case Family::kTriangulation: return graph::random_maximal_planar(n, rng);
+    case Family::kRandomPlanar: return graph::random_planar(n, 2 * n, rng);
+    case Family::kOuterplanar: return graph::random_outerplanar(n, rng);
+    case Family::kTwoTree: return graph::random_two_tree(n, rng);
+    case Family::kTree: return graph::random_tree(n, rng);
+  }
+  throw std::logic_error("family");
+}
+
+const char* name(Family f) {
+  switch (f) {
+    case Family::kGrid: return "grid";
+    case Family::kTriangulation: return "tri";
+    case Family::kRandomPlanar: return "planar";
+    case Family::kOuterplanar: return "outer";
+    case Family::kTwoTree: return "twotree";
+    case Family::kTree: return "tree";
+  }
+  return "?";
+}
+
+// ---------- Decomposition contract sweep -------------------------------------
+
+class DecompositionSweep
+    : public ::testing::TestWithParam<std::tuple<Family, int, int, int>> {};
+
+TEST_P(DecompositionSweep, ContractHolds) {
+  const auto [family, n, eps_pm, seed] = GetParam();
+  const double eps = eps_pm / 1000.0;
+  Rng rng(seed * 7919 + n);
+  const Graph g = make(family, n, rng);
+
+  expander::DecompositionOptions opt;
+  opt.seed = seed;
+  const auto d = expander::expander_decompose(g, eps, opt);
+
+  // Inter-cluster budget.
+  EXPECT_LE(d.inter_cluster_edges, eps * g.num_edges() + 1e-9);
+  // Partition validity + connectivity of every cluster.
+  const auto members = expander::cluster_members(d);
+  int total = 0;
+  for (const auto& m : members) {
+    total += static_cast<int>(m.size());
+    if (m.size() >= 2) {
+      const auto sub = graph::induced_subgraph(g, m);
+      EXPECT_TRUE(graph::is_connected(sub.graph));
+    }
+  }
+  EXPECT_EQ(total, g.num_vertices());
+  // Edge flags consistent.
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    EXPECT_EQ(d.is_inter_cluster[e],
+              d.cluster_of[ed.u] != d.cluster_of[ed.v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DecompositionSweep,
+    ::testing::Combine(
+        ::testing::Values(Family::kGrid, Family::kTriangulation,
+                          Family::kRandomPlanar, Family::kOuterplanar,
+                          Family::kTwoTree, Family::kTree),
+        ::testing::Values(100, 300),
+        ::testing::Values(100, 300),
+        ::testing::Values(1, 2)),
+    [](const auto& info) {
+      return std::string(name(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_e" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// ---------- Framework reconstruction sweep ------------------------------------
+
+class FrameworkSweep
+    : public ::testing::TestWithParam<std::tuple<Family, int, int>> {};
+
+TEST_P(FrameworkSweep, LeaderSeesExactInducedSubgraph) {
+  const auto [family, n, seed] = GetParam();
+  Rng rng(seed * 104729 + n);
+  const Graph g = make(family, n, rng);
+  core::FrameworkOptions opt;
+  opt.seed = seed;
+  const auto p = core::partition_and_gather(g, 0.3, opt);
+  ASSERT_TRUE(p.gather_complete);
+  int covered = 0;
+  for (const auto& cluster : p.clusters) {
+    covered += static_cast<int>(cluster.members.size());
+    const auto reference = graph::induced_subgraph(g, cluster.members);
+    ASSERT_EQ(cluster.subgraph.graph.num_vertices(),
+              reference.graph.num_vertices());
+    ASSERT_EQ(cluster.subgraph.graph.num_edges(), reference.graph.num_edges());
+    for (graph::EdgeId e = 0; e < cluster.subgraph.graph.num_edges(); ++e) {
+      const graph::Edge ed = cluster.subgraph.graph.edge(e);
+      EXPECT_TRUE(g.has_edge(cluster.subgraph.to_parent[ed.u],
+                             cluster.subgraph.to_parent[ed.v]));
+    }
+  }
+  EXPECT_EQ(covered, g.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FrameworkSweep,
+    ::testing::Combine(::testing::Values(Family::kGrid, Family::kTriangulation,
+                                         Family::kOuterplanar, Family::kTree),
+                       ::testing::Values(80, 250),
+                       ::testing::Values(3, 4)),
+    [](const auto& info) {
+      return std::string(name(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------- MIS validity sweep ---------------------------------------------------
+
+class MisSweep : public ::testing::TestWithParam<std::tuple<Family, int, int>> {};
+
+TEST_P(MisSweep, IndependentAndLargeEnough) {
+  const auto [family, eps_pm, seed] = GetParam();
+  const double eps = eps_pm / 1000.0;
+  Rng rng(seed * 31 + eps_pm);
+  const Graph g = make(family, 150, rng);
+  core::MisApproxOptions opt;
+  opt.framework.seed = seed;
+  const auto r = core::mis_approx(g, eps, opt);
+  ASSERT_TRUE(seq::is_independent_set(g, r.independent_set));
+  // §3.1 guarantee against the greedy lower bound n/(2d+1).
+  const int d = std::max(1, static_cast<int>(std::ceil(g.edge_density())));
+  EXPECT_GE(r.independent_set.size() + 1e-9,
+            (1.0 - eps) * g.num_vertices() / (2 * d + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MisSweep,
+    ::testing::Combine(::testing::Values(Family::kTriangulation,
+                                         Family::kRandomPlanar,
+                                         Family::kTwoTree, Family::kOuterplanar),
+                       ::testing::Values(150, 350),
+                       ::testing::Values(5, 6)),
+    [](const auto& info) {
+      return std::string(name(std::get<0>(info.param))) + "_e" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------- Conductance certification sweep ------------------------------------
+
+class CertificationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CertificationSweep, CheegerLowerBoundIsSound) {
+  // On random small graphs the certified lower bound never exceeds the
+  // exact conductance.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::random_planar(12, 18, rng);
+    if (!graph::is_connected(g)) continue;
+    const double cert = expander::certified_conductance_lower_bound(g);
+    const double exact = expander::exact_conductance(g);
+    EXPECT_LE(cert, exact + 1e-9) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertificationSweep,
+                         ::testing::Range(100, 110));
+
+}  // namespace
+}  // namespace ecd

@@ -1,0 +1,251 @@
+// Dedicated tests for the sequential solver substrates (src/seq) that the
+// application suites exercise only indirectly: exact MIS, correlation
+// clustering, separators, and LDD.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/graph/generators.h"
+#include "src/graph/metrics.h"
+#include "src/graph/subgraph.h"
+#include "src/seq/correlation.h"
+#include "src/seq/ldd.h"
+#include "src/seq/mis.h"
+#include "src/seq/separator.h"
+
+namespace ecd::seq {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+using graph::VertexId;
+
+// ---------------- Exact MIS -----------------------------------------------------
+
+TEST(ExactMis, KnownValues) {
+  ASSERT_TRUE(max_independent_set_exact(graph::path(5)).has_value());
+  EXPECT_EQ(max_independent_set_exact(graph::path(5))->size(), 3u);
+  EXPECT_EQ(max_independent_set_exact(graph::cycle(7))->size(), 3u);
+  EXPECT_EQ(max_independent_set_exact(graph::complete(6))->size(), 1u);
+  EXPECT_EQ(max_independent_set_exact(graph::star(9))->size(), 9u);
+  EXPECT_EQ(max_independent_set_exact(graph::complete_bipartite(3, 5))->size(),
+            5u);
+  EXPECT_EQ(max_independent_set_exact(graph::grid(4, 4))->size(), 8u);
+}
+
+TEST(ExactMis, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 5 + static_cast<int>(rng() % 10);  // 5..14
+    const Graph g = graph::erdos_renyi(n, 0.3, rng);
+    const auto fast = max_independent_set_exact(g);
+    ASSERT_TRUE(fast.has_value());
+    const auto slow = max_independent_set_bruteforce(g);
+    EXPECT_TRUE(is_independent_set(g, *fast));
+    EXPECT_EQ(fast->size(), slow.size()) << "trial " << trial;
+  }
+}
+
+TEST(ExactMis, MatchesBruteForceOnPlanar) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = graph::random_planar(12, 20, rng);
+    const auto fast = max_independent_set_exact(g);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_EQ(fast->size(), max_independent_set_bruteforce(g).size());
+  }
+}
+
+TEST(ExactMis, BudgetExhaustionReturnsNullopt) {
+  Rng rng(3);
+  const Graph g = graph::random_regular(40, 8, rng);
+  EXPECT_FALSE(max_independent_set_exact(g, 5).has_value());
+}
+
+TEST(GreedyMis, MeetsDensityLowerBound) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::random_maximal_planar(200, rng);  // density < 3
+    const auto greedy = greedy_mis_min_degree(g);
+    EXPECT_TRUE(is_independent_set(g, greedy));
+    EXPECT_GE(greedy.size() * 7u, static_cast<std::size_t>(g.num_vertices()));
+  }
+}
+
+TEST(MisLocalSearch, NeverShrinksAndStaysIndependent) {
+  Rng rng(5);
+  const Graph g = graph::random_planar(60, 100, rng);
+  const auto start = greedy_mis_min_degree(g);
+  const auto improved = mis_local_search(g, start);
+  EXPECT_TRUE(is_independent_set(g, improved));
+  EXPECT_GE(improved.size(), start.size());
+}
+
+TEST(BestEffortMis, FallsBackGracefully) {
+  Rng rng(6);
+  const Graph g = graph::random_regular(60, 8, rng);
+  const auto r = best_effort_mis(g, 10);  // force the fallback
+  EXPECT_FALSE(r.exact);
+  EXPECT_TRUE(is_independent_set(g, r.vertices));
+}
+
+// ---------------- Correlation clustering ---------------------------------------
+
+// Oracle: enumerate all partitions of <= 10 elements via restricted growth
+// strings.
+std::int64_t best_score_bruteforce(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> labels(n, 0);
+  std::int64_t best = -1;
+  // Restricted growth: labels[i] <= max(labels[0..i-1]) + 1.
+  std::function<void(int, int)> rec = [&](int i, int max_label) {
+    if (i == n) {
+      best = std::max(best, agreement_score(g, labels));
+      return;
+    }
+    for (int l = 0; l <= max_label + 1; ++l) {
+      labels[i] = l;
+      rec(i + 1, std::max(max_label, l));
+    }
+  };
+  rec(0, -1);
+  return best;
+}
+
+TEST(CorrelationExact, MatchesPartitionEnumeration) {
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 4 + static_cast<int>(rng() % 5);  // 4..8
+    Graph base = graph::erdos_renyi(n, 0.5, rng);
+    std::vector<graph::EdgeSign> signs(base.num_edges());
+    for (auto& s : signs) {
+      s = (rng() & 1) ? graph::EdgeSign::kPositive
+                      : graph::EdgeSign::kNegative;
+    }
+    const Graph g = base.with_signs(std::move(signs));
+    const auto exact = correlation_exact(g);
+    EXPECT_EQ(agreement_score(g, exact), best_score_bruteforce(g))
+        << "trial " << trial;
+  }
+}
+
+TEST(CorrelationExact, AllPositiveMeansOneCluster) {
+  const Graph g = graph::complete(6);  // unsigned = all positive
+  const auto c = correlation_exact(g);
+  for (int l : c) EXPECT_EQ(l, c[0]);
+  EXPECT_EQ(agreement_score(g, c), g.num_edges());
+}
+
+TEST(CorrelationExact, AllNegativeMeansSingletons) {
+  Graph base = graph::complete(6);
+  const Graph g = base.with_signs(std::vector<graph::EdgeSign>(
+      base.num_edges(), graph::EdgeSign::kNegative));
+  const auto c = correlation_exact(g);
+  std::vector<int> sorted(c);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()) - sorted.begin(), 6);
+  EXPECT_EQ(agreement_score(g, c), g.num_edges());
+}
+
+TEST(CorrelationLocalSearch, AtLeastTrivialBaselines) {
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph base = graph::random_maximal_planar(60, rng);
+    const Graph g =
+        base.with_signs(graph::planted_signs(base, 8, 0.2, rng));
+    const auto c = correlation_local_search(g);
+    Clustering singles(g.num_vertices());
+    std::iota(singles.begin(), singles.end(), 0);
+    const auto trivial =
+        std::max(agreement_score(g, singles),
+                 agreement_score(g, Clustering(g.num_vertices(), 0)));
+    EXPECT_GE(agreement_score(g, c), trivial);
+  }
+}
+
+TEST(CorrelationScore, CountsAgreements) {
+  // Path + - : clustering {0,1},{2} agrees with both edges.
+  Graph g = graph::path(3).with_signs(
+      {graph::EdgeSign::kPositive, graph::EdgeSign::kNegative});
+  EXPECT_EQ(agreement_score(g, {0, 0, 1}), 2);
+  EXPECT_EQ(agreement_score(g, {0, 0, 0}), 1);
+  EXPECT_EQ(agreement_score(g, {0, 1, 2}), 1);
+}
+
+// ---------------- Edge separators ------------------------------------------------
+
+TEST(Separator, BalancedByConstruction) {
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::random_maximal_planar(100, rng);
+    const auto r = edge_separator(g, rng);
+    EXPECT_GE(r.smaller_side, g.num_vertices() / 3);
+    // Reported cut matches the indicator.
+    int cut = 0;
+    for (const graph::Edge& e : g.edges()) {
+      cut += r.in_s[e.u] != r.in_s[e.v];
+    }
+    EXPECT_EQ(cut, r.cut_size);
+  }
+}
+
+TEST(Separator, NearOptimalOnSmallGraphs) {
+  Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::random_planar(12, 20, rng);
+    const auto heuristic = edge_separator(g, rng, 6);
+    const auto exact = edge_separator_bruteforce(g);
+    EXPECT_LE(heuristic.cut_size, 2 * exact.cut_size + 2) << "trial " << trial;
+    EXPECT_GE(exact.smaller_side, g.num_vertices() / 3);
+  }
+}
+
+TEST(Separator, GridScalesAsSqrtN) {
+  Rng rng(11);
+  const auto r16 = edge_separator(graph::grid(16, 16), rng);
+  const auto r32 = edge_separator(graph::grid(32, 32), rng);
+  // Quadrupling n should roughly double the cut, not quadruple it.
+  EXPECT_LE(r32.cut_size, 3 * r16.cut_size);
+}
+
+// ---------------- Sequential LDD ----------------------------------------------------
+
+TEST(SequentialLdd, BoundsOnFamilies) {
+  Rng rng(12);
+  for (double eps : {0.1, 0.2, 0.4}) {
+    for (int fam = 0; fam < 3; ++fam) {
+      const Graph g = fam == 0   ? graph::grid(18, 18)
+                      : fam == 1 ? graph::random_maximal_planar(300, rng)
+                                 : graph::cycle(300);
+      const auto r = ldd_minor_free(g, eps, rng);
+      EXPECT_LE(r.cut_edges, eps * g.num_edges() + 1e-9)
+          << "fam=" << fam << " eps=" << eps;
+      EXPECT_LE(ldd_max_diameter(g, r.cluster_of), 40.0 / eps)
+          << "fam=" << fam << " eps=" << eps;
+    }
+  }
+}
+
+TEST(SequentialLdd, LabelsAreDenseAndCountMatches) {
+  Rng rng(13);
+  const Graph g = graph::random_planar(200, 350, rng);
+  const auto r = ldd_minor_free(g, 0.25, rng);
+  std::vector<bool> seen(r.num_clusters, false);
+  for (int c : r.cluster_of) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, r.num_clusters);
+    seen[c] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(SequentialLdd, RejectsBadEps) {
+  Rng rng(14);
+  const Graph g = graph::path(4);
+  EXPECT_THROW(ldd_minor_free(g, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(ldd_minor_free(g, 1.5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecd::seq
