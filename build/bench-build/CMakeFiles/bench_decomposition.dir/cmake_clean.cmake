@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_decomposition"
+  "../bench/bench_decomposition.pdb"
+  "CMakeFiles/bench_decomposition.dir/bench_decomposition.cpp.o"
+  "CMakeFiles/bench_decomposition.dir/bench_decomposition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

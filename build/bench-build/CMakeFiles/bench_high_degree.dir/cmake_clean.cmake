@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_high_degree"
+  "../bench/bench_high_degree.pdb"
+  "CMakeFiles/bench_high_degree.dir/bench_high_degree.cpp.o"
+  "CMakeFiles/bench_high_degree.dir/bench_high_degree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_high_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ldd"
+  "../bench/bench_ldd.pdb"
+  "CMakeFiles/bench_ldd.dir/bench_ldd.cpp.o"
+  "CMakeFiles/bench_ldd.dir/bench_ldd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ldd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

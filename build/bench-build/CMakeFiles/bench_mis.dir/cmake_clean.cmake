@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mis"
+  "../bench/bench_mis.pdb"
+  "CMakeFiles/bench_mis.dir/bench_mis.cpp.o"
+  "CMakeFiles/bench_mis.dir/bench_mis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

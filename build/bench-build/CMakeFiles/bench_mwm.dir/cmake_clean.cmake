@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mwm"
+  "../bench/bench_mwm.pdb"
+  "CMakeFiles/bench_mwm.dir/bench_mwm.cpp.o"
+  "CMakeFiles/bench_mwm.dir/bench_mwm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mwm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

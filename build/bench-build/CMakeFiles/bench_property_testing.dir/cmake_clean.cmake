@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_property_testing"
+  "../bench/bench_property_testing.pdb"
+  "CMakeFiles/bench_property_testing.dir/bench_property_testing.cpp.o"
+  "CMakeFiles/bench_property_testing.dir/bench_property_testing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_property_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_separator"
+  "../bench/bench_separator.pdb"
+  "CMakeFiles/bench_separator.dir/bench_separator.cpp.o"
+  "CMakeFiles/bench_separator.dir/bench_separator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_separator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_triangles"
+  "../bench/bench_triangles.pdb"
+  "CMakeFiles/bench_triangles.dir/bench_triangles.cpp.o"
+  "CMakeFiles/bench_triangles.dir/bench_triangles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

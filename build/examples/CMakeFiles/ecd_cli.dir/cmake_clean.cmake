@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecd_cli.dir/ecd_cli.cpp.o"
+  "CMakeFiles/ecd_cli.dir/ecd_cli.cpp.o.d"
+  "ecd_cli"
+  "ecd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_property_audit.dir/network_property_audit.cpp.o"
+  "CMakeFiles/network_property_audit.dir/network_property_audit.cpp.o.d"
+  "network_property_audit"
+  "network_property_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_property_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planar_roadnet_matching.dir/planar_roadnet_matching.cpp.o"
+  "CMakeFiles/planar_roadnet_matching.dir/planar_roadnet_matching.cpp.o.d"
+  "planar_roadnet_matching"
+  "planar_roadnet_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planar_roadnet_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

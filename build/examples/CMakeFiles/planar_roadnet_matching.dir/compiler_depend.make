@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for planar_roadnet_matching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_census.dir/triangle_census.cpp.o"
+  "CMakeFiles/triangle_census.dir/triangle_census.cpp.o.d"
+  "triangle_census"
+  "triangle_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/local_gather.cpp" "src/baselines/CMakeFiles/ecd_baselines.dir/local_gather.cpp.o" "gcc" "src/baselines/CMakeFiles/ecd_baselines.dir/local_gather.cpp.o.d"
+  "/root/repo/src/baselines/luby_mis.cpp" "src/baselines/CMakeFiles/ecd_baselines.dir/luby_mis.cpp.o" "gcc" "src/baselines/CMakeFiles/ecd_baselines.dir/luby_mis.cpp.o.d"
+  "/root/repo/src/baselines/maximal_matching.cpp" "src/baselines/CMakeFiles/ecd_baselines.dir/maximal_matching.cpp.o" "gcc" "src/baselines/CMakeFiles/ecd_baselines.dir/maximal_matching.cpp.o.d"
+  "/root/repo/src/baselines/mpx_ldd.cpp" "src/baselines/CMakeFiles/ecd_baselines.dir/mpx_ldd.cpp.o" "gcc" "src/baselines/CMakeFiles/ecd_baselines.dir/mpx_ldd.cpp.o.d"
+  "/root/repo/src/baselines/pivot_correlation.cpp" "src/baselines/CMakeFiles/ecd_baselines.dir/pivot_correlation.cpp.o" "gcc" "src/baselines/CMakeFiles/ecd_baselines.dir/pivot_correlation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ecd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/ecd_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ecd_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

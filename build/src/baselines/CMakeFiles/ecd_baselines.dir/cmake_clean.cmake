@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecd_baselines.dir/local_gather.cpp.o"
+  "CMakeFiles/ecd_baselines.dir/local_gather.cpp.o.d"
+  "CMakeFiles/ecd_baselines.dir/luby_mis.cpp.o"
+  "CMakeFiles/ecd_baselines.dir/luby_mis.cpp.o.d"
+  "CMakeFiles/ecd_baselines.dir/maximal_matching.cpp.o"
+  "CMakeFiles/ecd_baselines.dir/maximal_matching.cpp.o.d"
+  "CMakeFiles/ecd_baselines.dir/mpx_ldd.cpp.o"
+  "CMakeFiles/ecd_baselines.dir/mpx_ldd.cpp.o.d"
+  "CMakeFiles/ecd_baselines.dir/pivot_correlation.cpp.o"
+  "CMakeFiles/ecd_baselines.dir/pivot_correlation.cpp.o.d"
+  "libecd_baselines.a"
+  "libecd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

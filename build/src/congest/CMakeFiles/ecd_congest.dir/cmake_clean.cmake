@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecd_congest.dir/network.cpp.o"
+  "CMakeFiles/ecd_congest.dir/network.cpp.o.d"
+  "CMakeFiles/ecd_congest.dir/primitives.cpp.o"
+  "CMakeFiles/ecd_congest.dir/primitives.cpp.o.d"
+  "CMakeFiles/ecd_congest.dir/round_ledger.cpp.o"
+  "CMakeFiles/ecd_congest.dir/round_ledger.cpp.o.d"
+  "libecd_congest.a"
+  "libecd_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecd_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecd_congest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/ecd_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/ecd_core.dir/correlation.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/ecd_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/ecd_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/ldd.cpp" "src/core/CMakeFiles/ecd_core.dir/ldd.cpp.o" "gcc" "src/core/CMakeFiles/ecd_core.dir/ldd.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "src/core/CMakeFiles/ecd_core.dir/matching.cpp.o" "gcc" "src/core/CMakeFiles/ecd_core.dir/matching.cpp.o.d"
+  "/root/repo/src/core/mis.cpp" "src/core/CMakeFiles/ecd_core.dir/mis.cpp.o" "gcc" "src/core/CMakeFiles/ecd_core.dir/mis.cpp.o.d"
+  "/root/repo/src/core/mwm.cpp" "src/core/CMakeFiles/ecd_core.dir/mwm.cpp.o" "gcc" "src/core/CMakeFiles/ecd_core.dir/mwm.cpp.o.d"
+  "/root/repo/src/core/property_testing.cpp" "src/core/CMakeFiles/ecd_core.dir/property_testing.cpp.o" "gcc" "src/core/CMakeFiles/ecd_core.dir/property_testing.cpp.o.d"
+  "/root/repo/src/core/triangles.cpp" "src/core/CMakeFiles/ecd_core.dir/triangles.cpp.o" "gcc" "src/core/CMakeFiles/ecd_core.dir/triangles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ecd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ecd_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/expander/CMakeFiles/ecd_expander.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/ecd_congest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

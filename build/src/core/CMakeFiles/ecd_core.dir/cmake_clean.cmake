@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecd_core.dir/correlation.cpp.o"
+  "CMakeFiles/ecd_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/ecd_core.dir/framework.cpp.o"
+  "CMakeFiles/ecd_core.dir/framework.cpp.o.d"
+  "CMakeFiles/ecd_core.dir/ldd.cpp.o"
+  "CMakeFiles/ecd_core.dir/ldd.cpp.o.d"
+  "CMakeFiles/ecd_core.dir/matching.cpp.o"
+  "CMakeFiles/ecd_core.dir/matching.cpp.o.d"
+  "CMakeFiles/ecd_core.dir/mis.cpp.o"
+  "CMakeFiles/ecd_core.dir/mis.cpp.o.d"
+  "CMakeFiles/ecd_core.dir/mwm.cpp.o"
+  "CMakeFiles/ecd_core.dir/mwm.cpp.o.d"
+  "CMakeFiles/ecd_core.dir/property_testing.cpp.o"
+  "CMakeFiles/ecd_core.dir/property_testing.cpp.o.d"
+  "CMakeFiles/ecd_core.dir/triangles.cpp.o"
+  "CMakeFiles/ecd_core.dir/triangles.cpp.o.d"
+  "libecd_core.a"
+  "libecd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

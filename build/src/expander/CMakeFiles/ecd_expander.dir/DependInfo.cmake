@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expander/conductance.cpp" "src/expander/CMakeFiles/ecd_expander.dir/conductance.cpp.o" "gcc" "src/expander/CMakeFiles/ecd_expander.dir/conductance.cpp.o.d"
+  "/root/repo/src/expander/decomposition.cpp" "src/expander/CMakeFiles/ecd_expander.dir/decomposition.cpp.o" "gcc" "src/expander/CMakeFiles/ecd_expander.dir/decomposition.cpp.o.d"
+  "/root/repo/src/expander/distributed_decomposition.cpp" "src/expander/CMakeFiles/ecd_expander.dir/distributed_decomposition.cpp.o" "gcc" "src/expander/CMakeFiles/ecd_expander.dir/distributed_decomposition.cpp.o.d"
+  "/root/repo/src/expander/random_walk.cpp" "src/expander/CMakeFiles/ecd_expander.dir/random_walk.cpp.o" "gcc" "src/expander/CMakeFiles/ecd_expander.dir/random_walk.cpp.o.d"
+  "/root/repo/src/expander/sweep_cut.cpp" "src/expander/CMakeFiles/ecd_expander.dir/sweep_cut.cpp.o" "gcc" "src/expander/CMakeFiles/ecd_expander.dir/sweep_cut.cpp.o.d"
+  "/root/repo/src/expander/weighted.cpp" "src/expander/CMakeFiles/ecd_expander.dir/weighted.cpp.o" "gcc" "src/expander/CMakeFiles/ecd_expander.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ecd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecd_expander.dir/conductance.cpp.o"
+  "CMakeFiles/ecd_expander.dir/conductance.cpp.o.d"
+  "CMakeFiles/ecd_expander.dir/decomposition.cpp.o"
+  "CMakeFiles/ecd_expander.dir/decomposition.cpp.o.d"
+  "CMakeFiles/ecd_expander.dir/distributed_decomposition.cpp.o"
+  "CMakeFiles/ecd_expander.dir/distributed_decomposition.cpp.o.d"
+  "CMakeFiles/ecd_expander.dir/random_walk.cpp.o"
+  "CMakeFiles/ecd_expander.dir/random_walk.cpp.o.d"
+  "CMakeFiles/ecd_expander.dir/sweep_cut.cpp.o"
+  "CMakeFiles/ecd_expander.dir/sweep_cut.cpp.o.d"
+  "CMakeFiles/ecd_expander.dir/weighted.cpp.o"
+  "CMakeFiles/ecd_expander.dir/weighted.cpp.o.d"
+  "libecd_expander.a"
+  "libecd_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecd_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

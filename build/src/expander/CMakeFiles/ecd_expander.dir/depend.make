@@ -1,0 +1,2 @@
+# Empty dependencies file for ecd_expander.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/ecd_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/ecd_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/ecd_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/ecd_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/ecd_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/ecd_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/ecd_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/ecd_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/ecd_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/ecd_graph.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecd_graph.dir/generators.cpp.o"
+  "CMakeFiles/ecd_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ecd_graph.dir/graph.cpp.o"
+  "CMakeFiles/ecd_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/ecd_graph.dir/io.cpp.o"
+  "CMakeFiles/ecd_graph.dir/io.cpp.o.d"
+  "CMakeFiles/ecd_graph.dir/metrics.cpp.o"
+  "CMakeFiles/ecd_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/ecd_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/ecd_graph.dir/subgraph.cpp.o.d"
+  "libecd_graph.a"
+  "libecd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecd_graph.a"
+)

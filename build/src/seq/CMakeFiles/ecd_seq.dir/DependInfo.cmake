@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/correlation.cpp" "src/seq/CMakeFiles/ecd_seq.dir/correlation.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/correlation.cpp.o.d"
+  "/root/repo/src/seq/demoucron.cpp" "src/seq/CMakeFiles/ecd_seq.dir/demoucron.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/demoucron.cpp.o.d"
+  "/root/repo/src/seq/ldd.cpp" "src/seq/CMakeFiles/ecd_seq.dir/ldd.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/ldd.cpp.o.d"
+  "/root/repo/src/seq/matching.cpp" "src/seq/CMakeFiles/ecd_seq.dir/matching.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/matching.cpp.o.d"
+  "/root/repo/src/seq/minor.cpp" "src/seq/CMakeFiles/ecd_seq.dir/minor.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/minor.cpp.o.d"
+  "/root/repo/src/seq/mis.cpp" "src/seq/CMakeFiles/ecd_seq.dir/mis.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/mis.cpp.o.d"
+  "/root/repo/src/seq/mwm.cpp" "src/seq/CMakeFiles/ecd_seq.dir/mwm.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/mwm.cpp.o.d"
+  "/root/repo/src/seq/planarity.cpp" "src/seq/CMakeFiles/ecd_seq.dir/planarity.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/planarity.cpp.o.d"
+  "/root/repo/src/seq/properties.cpp" "src/seq/CMakeFiles/ecd_seq.dir/properties.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/properties.cpp.o.d"
+  "/root/repo/src/seq/separator.cpp" "src/seq/CMakeFiles/ecd_seq.dir/separator.cpp.o" "gcc" "src/seq/CMakeFiles/ecd_seq.dir/separator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ecd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecd_seq.dir/correlation.cpp.o"
+  "CMakeFiles/ecd_seq.dir/correlation.cpp.o.d"
+  "CMakeFiles/ecd_seq.dir/demoucron.cpp.o"
+  "CMakeFiles/ecd_seq.dir/demoucron.cpp.o.d"
+  "CMakeFiles/ecd_seq.dir/ldd.cpp.o"
+  "CMakeFiles/ecd_seq.dir/ldd.cpp.o.d"
+  "CMakeFiles/ecd_seq.dir/matching.cpp.o"
+  "CMakeFiles/ecd_seq.dir/matching.cpp.o.d"
+  "CMakeFiles/ecd_seq.dir/minor.cpp.o"
+  "CMakeFiles/ecd_seq.dir/minor.cpp.o.d"
+  "CMakeFiles/ecd_seq.dir/mis.cpp.o"
+  "CMakeFiles/ecd_seq.dir/mis.cpp.o.d"
+  "CMakeFiles/ecd_seq.dir/mwm.cpp.o"
+  "CMakeFiles/ecd_seq.dir/mwm.cpp.o.d"
+  "CMakeFiles/ecd_seq.dir/planarity.cpp.o"
+  "CMakeFiles/ecd_seq.dir/planarity.cpp.o.d"
+  "CMakeFiles/ecd_seq.dir/properties.cpp.o"
+  "CMakeFiles/ecd_seq.dir/properties.cpp.o.d"
+  "CMakeFiles/ecd_seq.dir/separator.cpp.o"
+  "CMakeFiles/ecd_seq.dir/separator.cpp.o.d"
+  "libecd_seq.a"
+  "libecd_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecd_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

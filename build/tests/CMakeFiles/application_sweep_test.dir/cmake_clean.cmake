@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_sweep_test.dir/application_sweep_test.cpp.o"
+  "CMakeFiles/application_sweep_test.dir/application_sweep_test.cpp.o.d"
+  "application_sweep_test"
+  "application_sweep_test.pdb"
+  "application_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

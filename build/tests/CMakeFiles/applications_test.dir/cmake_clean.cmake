@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/applications_test.dir/applications_test.cpp.o"
+  "CMakeFiles/applications_test.dir/applications_test.cpp.o.d"
+  "applications_test"
+  "applications_test.pdb"
+  "applications_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applications_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

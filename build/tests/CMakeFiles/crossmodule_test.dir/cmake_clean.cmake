@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossmodule_test.dir/crossmodule_test.cpp.o"
+  "CMakeFiles/crossmodule_test.dir/crossmodule_test.cpp.o.d"
+  "crossmodule_test"
+  "crossmodule_test.pdb"
+  "crossmodule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossmodule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

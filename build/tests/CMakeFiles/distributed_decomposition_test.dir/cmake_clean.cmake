@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_decomposition_test.dir/distributed_decomposition_test.cpp.o"
+  "CMakeFiles/distributed_decomposition_test.dir/distributed_decomposition_test.cpp.o.d"
+  "distributed_decomposition_test"
+  "distributed_decomposition_test.pdb"
+  "distributed_decomposition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

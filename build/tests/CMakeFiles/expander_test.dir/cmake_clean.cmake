@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expander_test.dir/expander_test.cpp.o"
+  "CMakeFiles/expander_test.dir/expander_test.cpp.o.d"
+  "expander_test"
+  "expander_test.pdb"
+  "expander_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expander_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_test.dir/matching_test.cpp.o"
+  "CMakeFiles/matching_test.dir/matching_test.cpp.o.d"
+  "matching_test"
+  "matching_test.pdb"
+  "matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

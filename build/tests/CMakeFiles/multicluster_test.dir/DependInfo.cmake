@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/multicluster_test.cpp" "tests/CMakeFiles/multicluster_test.dir/multicluster_test.cpp.o" "gcc" "tests/CMakeFiles/multicluster_test.dir/multicluster_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/expander/CMakeFiles/ecd_expander.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ecd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/ecd_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/ecd_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ecd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

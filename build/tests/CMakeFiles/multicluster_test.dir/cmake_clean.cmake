@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicluster_test.dir/multicluster_test.cpp.o"
+  "CMakeFiles/multicluster_test.dir/multicluster_test.cpp.o.d"
+  "multicluster_test"
+  "multicluster_test.pdb"
+  "multicluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

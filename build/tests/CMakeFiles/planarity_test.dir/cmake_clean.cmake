@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planarity_test.dir/planarity_test.cpp.o"
+  "CMakeFiles/planarity_test.dir/planarity_test.cpp.o.d"
+  "planarity_test"
+  "planarity_test.pdb"
+  "planarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_suite_test.dir/property_suite_test.cpp.o"
+  "CMakeFiles/property_suite_test.dir/property_suite_test.cpp.o.d"
+  "property_suite_test"
+  "property_suite_test.pdb"
+  "property_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

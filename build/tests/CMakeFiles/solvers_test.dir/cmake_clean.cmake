@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_test.dir/solvers_test.cpp.o"
+  "CMakeFiles/solvers_test.dir/solvers_test.cpp.o.d"
+  "solvers_test"
+  "solvers_test.pdb"
+  "solvers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
