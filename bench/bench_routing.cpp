@@ -9,6 +9,8 @@
 //   local_rounds     rounds of the LOCAL-model flood gather (≈ diameter)
 //   local_max_words  largest single LOCAL message in words — the gap
 //   congest_words    total words the CONGEST gather moved
+//   trace_*          congestion counters from an untimed traced re-run
+//                    (peak/p99 edge load, words per phase)
 #include <cmath>
 
 #include "bench/bench_util.h"
@@ -53,6 +55,14 @@ void BM_Routing(benchmark::State& state) {
   state.counters["local_rounds"] = static_cast<double>(local.stats.rounds);
   state.counters["local_max_words"] =
       static_cast<double>(local.max_message_words);
+
+  // Untimed traced re-run: congestion counters for this row (the timed loop
+  // above keeps the default null sink, so tracing cost never enters timing).
+  ecd::congest::MetricsCollector collector;
+  core::FrameworkOptions traced;
+  traced.trace = &collector;
+  core::partition_and_gather(g, 0.3, traced);
+  bench::register_trace_counters(state, collector);
 }
 
 void RoutingArgs(benchmark::internal::Benchmark* b) {

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "src/congest/trace.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
 
@@ -70,6 +71,28 @@ inline graph::Graph make_graph(Family f, int n, graph::Rng& rng) {
 // eps encoded as an integer benchmark arg (per-mille).
 inline double eps_from_arg(std::int64_t permille) {
   return static_cast<double>(permille) / 1000.0;
+}
+
+// Registers trace-derived congestion counters on a benchmark row: peak
+// per-edge per-round load, p99 edge load, total words, and per-top-level-
+// phase word volumes (counter `words[phase]`). Attach a MetricsCollector
+// to the run under test (outside the timed loop — tracing is not free) and
+// hand it here.
+inline void register_trace_counters(benchmark::State& state,
+                                    const congest::MetricsCollector& mc) {
+  const congest::RunStats totals = mc.totals();
+  state.counters["trace_peak_edge_load"] =
+      static_cast<double>(totals.max_edge_load);
+  state.counters["trace_p99_edge_load"] = mc.load_percentile(99);
+  state.counters["trace_words"] = static_cast<double>(totals.words_sent);
+  state.counters["trace_violations"] =
+      static_cast<double>(mc.violations().size());
+  for (const auto& s : mc.spans()) {
+    if (s.depth != 0) continue;
+    std::string name = s.name;
+    if (name.rfind("phase:", 0) == 0) name = name.substr(6);
+    state.counters["words[" + name + "]"] = static_cast<double>(s.words);
+  }
 }
 
 }  // namespace ecd::bench

@@ -9,20 +9,30 @@
 //   ecd_cli test-planarity <file> [opts]     property testing (Thm 1.4)
 //   ecd_cli ldd <file> [opts]                low-diameter decomp (Thm 1.5)
 //   ecd_cli triangles <file>                 distributed triangle census
+//   ecd_cli trace --family <f> --n <k>       run the Thm 2.6 pipeline with
+//                                            the metrics collector attached;
+//                                            print the per-phase table +
+//                                            hotspot report, write a trace
 //
 // options: --eps <x>      proximity/approximation parameter (default 0.2)
 //          --seed <k>     RNG seed (default 1)
 //          --distributed  fully measured decomposition (no modeled rounds)
 //          --dot <out>    write a cluster-colored DOT file (decompose/ldd)
 //
-// families for `gen`: grid, tri, planar, outer, twotree, tree, torus,
-// hypercube, expander.
+// trace options: --family <f> --n <k>        generated input (see `gen`)
+//                --out <path>                trace file (default ecd_trace.json)
+//                --format chrome|jsonl       trace format (default chrome)
+//                --top <k>                   hotspot edges to print (default 10)
+//
+// families for `gen`/`trace`: grid, tri, planar, outer, twotree, tree,
+// torus, hypercube, expander.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "src/congest/trace.h"
 #include "src/core/correlation.h"
 #include "src/core/framework.h"
 #include "src/core/ldd.h"
@@ -50,7 +60,7 @@ struct Options {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: ecd_cli <gen|decompose|mis|mcm|mwm|correlate|"
-               "test-planarity|ldd|triangles> ... (see source header)\n");
+               "test-planarity|ldd|triangles|trace> ... (see source header)\n");
   std::exit(2);
 }
 
@@ -102,40 +112,120 @@ void maybe_write_dot(const Options& o, const Graph& g,
   std::printf("wrote %s\n", o.dot_path.c_str());
 }
 
+Graph make_family(const std::string& family, int n, ecd::graph::Rng& rng) {
+  if (family == "grid") {
+    int side = 1;
+    while (side * side < n) ++side;
+    return ecd::graph::grid(side, side);
+  }
+  if (family == "tri") return ecd::graph::random_maximal_planar(n, rng);
+  if (family == "planar") return ecd::graph::random_planar(n, 2 * n, rng);
+  if (family == "outer") return ecd::graph::random_outerplanar(n, rng);
+  if (family == "twotree") return ecd::graph::random_two_tree(n, rng);
+  if (family == "tree") return ecd::graph::random_tree(n, rng);
+  if (family == "torus") {
+    int side = 3;
+    while (side * side < n) ++side;
+    return ecd::graph::torus_grid(side, side);
+  }
+  if (family == "hypercube") {
+    int dim = 1;
+    while ((1 << dim) < n) ++dim;
+    return ecd::graph::hypercube(dim);
+  }
+  if (family == "expander") {
+    return ecd::graph::random_regular(n - (n % 2), 6, rng);
+  }
+  usage();
+}
+
 int cmd_gen(int argc, char** argv) {
   if (argc < 4) usage();
   const std::string family = argv[2];
   const int n = std::atoi(argv[3]);
   ecd::graph::Rng rng(argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1);
-  Graph g;
-  if (family == "grid") {
-    int side = 1;
-    while (side * side < n) ++side;
-    g = ecd::graph::grid(side, side);
-  } else if (family == "tri") {
-    g = ecd::graph::random_maximal_planar(n, rng);
-  } else if (family == "planar") {
-    g = ecd::graph::random_planar(n, 2 * n, rng);
-  } else if (family == "outer") {
-    g = ecd::graph::random_outerplanar(n, rng);
-  } else if (family == "twotree") {
-    g = ecd::graph::random_two_tree(n, rng);
-  } else if (family == "tree") {
-    g = ecd::graph::random_tree(n, rng);
-  } else if (family == "torus") {
-    int side = 3;
-    while (side * side < n) ++side;
-    g = ecd::graph::torus_grid(side, side);
-  } else if (family == "hypercube") {
-    int dim = 1;
-    while ((1 << dim) < n) ++dim;
-    g = ecd::graph::hypercube(dim);
-  } else if (family == "expander") {
-    g = ecd::graph::random_regular(n - (n % 2), 6, rng);
-  } else {
-    usage();
-  }
+  const Graph g = make_family(family, n, rng);
   ecd::graph::write_edge_list(g, std::cout);
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  std::string family = "grid", out_path = "ecd_trace.json", format = "chrome";
+  int n = 1024, top_k = 10;
+  double eps = 0.2;
+  std::uint64_t seed = 1;
+  bool distributed = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--family" && i + 1 < argc) {
+      family = argv[++i];
+    } else if (arg == "--n" && i + 1 < argc) {
+      n = std::atoi(argv[++i]);
+    } else if (arg == "--eps" && i + 1 < argc) {
+      eps = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--distributed") {
+      distributed = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "chrome" && format != "jsonl") usage();
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_k = std::atoi(argv[++i]);
+    } else {
+      usage();
+    }
+  }
+  ecd::graph::Rng rng(seed);
+  const Graph g = make_family(family, n, rng);
+
+  ecd::congest::MetricsCollector collector;
+  ecd::core::FrameworkOptions fopt;
+  fopt.seed = seed;
+  fopt.trace = &collector;
+  if (distributed) {
+    fopt.decomposition_mode = ecd::core::DecompositionMode::kDistributed;
+  }
+  auto p = ecd::core::partition_and_gather(g, eps, fopt);
+  // Exercise the reversed delivery too so its rounds join the ledger.
+  std::vector<std::int64_t> answers(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) answers[v] = v;
+  ecd::core::return_results(p, answers, "result return (reversed walks)");
+
+  std::printf("family=%s n=%d m=%d eps=%.3f clusters=%d gather_complete=%d\n",
+              family.c_str(), g.num_vertices(), g.num_edges(), eps,
+              p.decomposition.num_clusters, p.gather_complete ? 1 : 0);
+  std::printf("%-22s %10s %12s %12s %14s\n", "phase", "rounds", "messages",
+              "words", "max-edge-load");
+  for (const auto& s : collector.spans()) {
+    if (s.depth != 0) continue;
+    std::printf("%-22s %10lld %12lld %12lld %14d\n",
+                s.name.c_str(), static_cast<long long>(s.rounds),
+                static_cast<long long>(s.messages),
+                static_cast<long long>(s.words), s.max_edge_load);
+  }
+  const auto totals = collector.totals();
+  std::printf("%-22s %10lld %12lld %12lld %14d\n", "total (simulated)",
+              static_cast<long long>(totals.rounds),
+              static_cast<long long>(totals.messages_sent),
+              static_cast<long long>(totals.words_sent),
+              totals.max_edge_load);
+  std::printf("\nround ledger:\n%s\n", p.ledger.to_string().c_str());
+  std::printf("%s", ecd::congest::hotspot_report(collector, top_k).c_str());
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (format == "jsonl") {
+    ecd::congest::export_jsonl(collector, out);
+  } else {
+    ecd::congest::export_chrome_trace(collector, out);
+  }
+  std::printf("wrote %s (%s format)\n", out_path.c_str(), format.c_str());
   return 0;
 }
 
@@ -244,6 +334,7 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   if (cmd == "gen") return cmd_gen(argc, argv);
+  if (cmd == "trace") return cmd_trace(argc, argv);
   if (argc < 3) usage();
   const Options o = parse(argc, argv, 2);
   if (cmd == "decompose") return cmd_decompose(o);

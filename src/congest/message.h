@@ -15,8 +15,29 @@ namespace ecd::congest {
 // bits total.
 inline constexpr int kMaxMessageWords = 5;
 
+// Well-known message tags used by the primitives layer for traffic
+// attribution in the trace layer (src/congest/trace.h). Tags are metadata
+// of the simulation, not payload: they do not count against the word
+// budget (a real implementation would infer them from the protocol state).
+// Algorithms may use their own values at kTagUserBase and above.
+enum MsgTag : int {
+  kTagDefault = 0,
+  kTagElection = 1,
+  kTagBfs = 2,
+  kTagOrientation = 3,
+  kTagWalkToken = 4,
+  kTagBroadcast = 5,
+  kTagConvergecast = 6,
+  kTagDiameter = 7,
+  kTagTreeToken = 8,
+  kTagUserBase = 64,
+};
+
+const char* tag_name(int tag);
+
 struct Message {
   std::vector<std::int64_t> words;
+  int tag = kTagDefault;
 
   int size_words() const { return static_cast<int>(words.size()); }
 };

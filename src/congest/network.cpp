@@ -1,11 +1,46 @@
 #include "src/congest/network.h"
 
+#include <sstream>
 #include <utility>
+
+#include "src/congest/trace.h"
 
 namespace ecd::congest {
 
 using graph::Graph;
 using graph::VertexId;
+
+namespace {
+
+std::string describe_violation(CongestionError::Kind kind, std::int64_t round,
+                               VertexId from, VertexId to, int used,
+                               int budget) {
+  std::ostringstream os;
+  if (kind == CongestionError::Kind::kMessageSize) {
+    os << "message exceeds O(log n) bits: " << used << " words (budget "
+       << budget << ") on edge " << from << "->" << to << " at round "
+       << round;
+  } else {
+    os << "per-edge per-round bandwidth exceeded: " << used
+       << " tokens (budget " << budget << ") on edge " << from << "->" << to
+       << " at round " << round;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+CongestionError::CongestionError(Kind kind, std::int64_t round,
+                                 graph::VertexId from, graph::VertexId to,
+                                 int used, int budget)
+    : std::runtime_error(
+          describe_violation(kind, round, from, to, used, budget)),
+      kind_(kind),
+      round_(round),
+      from_(from),
+      to_(to),
+      used_(used),
+      budget_(budget) {}
 
 void Context::send(int port, Message message) {
   if (port < 0 || port >= num_ports()) {
@@ -13,10 +48,19 @@ void Context::send(int port, Message message) {
   }
   if (options_->enforce_bandwidth) {
     if (message.size_words() > kMaxMessageWords) {
-      throw CongestionError("message exceeds O(log n) bits");
+      CongestionError err(CongestionError::Kind::kMessageSize, round_, id_,
+                          neighbors_[port], message.size_words(),
+                          kMaxMessageWords);
+      if (options_->trace) options_->trace->on_violation(err);
+      throw err;
     }
     if (static_cast<int>(outbox_[port].size()) >= options_->bandwidth_tokens) {
-      throw CongestionError("per-edge per-round bandwidth exceeded");
+      CongestionError err(CongestionError::Kind::kBandwidth, round_, id_,
+                          neighbors_[port],
+                          static_cast<int>(outbox_[port].size()) + 1,
+                          options_->bandwidth_tokens);
+      if (options_->trace) options_->trace->on_violation(err);
+      throw err;
     }
   }
   outbox_[port].push_back(std::move(message));
@@ -70,6 +114,8 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
     ctx.outbox_.resize(nbrs.size());
   }
 
+  TraceSink* const trace = options_.trace;
+  if (trace) trace->on_run_begin(n, g_.num_edges(), options_);
   RunStats stats;
   for (std::int64_t r = 0;; ++r) {
     if (r > options_.max_rounds) {
@@ -84,6 +130,7 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
     }
     if (all_done) {
       stats.rounds = r;
+      if (trace) trace->on_run_end(stats);
       return stats;
     }
     for (VertexId v = 0; v < n; ++v) {
@@ -94,23 +141,35 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
     for (VertexId v = 0; v < n; ++v) {
       for (auto& box : contexts[v].inbox_) box.clear();
     }
+    std::int64_t round_messages = 0;
+    std::int64_t round_words = 0;
+    int round_max_load = 0;
     for (VertexId v = 0; v < n; ++v) {
       Context& ctx = contexts[v];
       for (int port = 0; port < ctx.num_ports(); ++port) {
         auto& out = ctx.outbox_[port];
         if (out.empty()) continue;
-        stats.max_edge_load =
-            std::max(stats.max_edge_load, static_cast<int>(out.size()));
+        const int load = static_cast<int>(out.size());
+        stats.max_edge_load = std::max(stats.max_edge_load, load);
+        round_max_load = std::max(round_max_load, load);
         const VertexId u = ctx.neighbors_[port];
         const int back = reverse_port[v][port];
+        std::int64_t edge_words = 0;
         for (Message& msg : out) {
+          const int w = msg.size_words();
           stats.messages_sent += 1;
-          stats.words_sent += msg.size_words();
+          stats.words_sent += w;
+          edge_words += w;
+          if (trace) trace->on_message(r, msg.tag, w);
           contexts[u].inbox_[back].push_back(std::move(msg));
         }
+        if (trace) trace->on_edge_load(r, v, u, load, edge_words);
+        round_messages += load;
+        round_words += edge_words;
         out.clear();
       }
     }
+    if (trace) trace->on_round_end(r, round_messages, round_words, round_max_load);
   }
 }
 

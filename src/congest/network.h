@@ -19,9 +19,33 @@
 
 namespace ecd::congest {
 
+class TraceSink;  // src/congest/trace.h
+
 class CongestionError : public std::runtime_error {
  public:
+  enum class Kind {
+    kBandwidth,    // per-edge per-round token budget exceeded
+    kMessageSize,  // a single message exceeded kMaxMessageWords
+  };
+
   using std::runtime_error::runtime_error;
+  CongestionError(Kind kind, std::int64_t round, graph::VertexId from,
+                  graph::VertexId to, int used, int budget);
+
+  Kind kind() const { return kind_; }
+  std::int64_t round() const { return round_; }
+  graph::VertexId from() const { return from_; }  // sender (edge tail)
+  graph::VertexId to() const { return to_; }      // receiver (edge head)
+  int used() const { return used_; }              // tokens or words attempted
+  int budget() const { return budget_; }          // the limit that was hit
+
+ private:
+  Kind kind_ = Kind::kBandwidth;
+  std::int64_t round_ = -1;
+  graph::VertexId from_ = graph::kInvalidVertex;
+  graph::VertexId to_ = graph::kInvalidVertex;
+  int used_ = 0;
+  int budget_ = 0;
 };
 
 struct NetworkOptions {
@@ -32,6 +56,10 @@ struct NetworkOptions {
   // When false, message sizes and token budgets are unbounded — the LOCAL
   // model. Used by baselines to exhibit the LOCAL–CONGEST gap.
   bool enforce_bandwidth = true;
+  // Observer for round/edge/message events (src/congest/trace.h). Null by
+  // default: the run loop takes no virtual calls and behaves exactly as
+  // before.
+  TraceSink* trace = nullptr;
 };
 
 struct RunStats {

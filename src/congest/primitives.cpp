@@ -4,6 +4,8 @@
 #include <deque>
 #include <random>
 
+#include "src/congest/trace.h"
+
 namespace ecd::congest {
 
 using graph::EdgeId;
@@ -52,7 +54,9 @@ class LeaderElectionAlgo final : public VertexAlgorithm {
     }
     sent_ = changed;
     if (changed) {
-      for (int p : *intra_) ctx.send(p, {{best_.first, best_.second}});
+      for (int p : *intra_) {
+        ctx.send(p, {{best_.first, best_.second}, kTagElection});
+      }
     }
   }
 
@@ -112,7 +116,7 @@ class BfsAlgo final : public VertexAlgorithm {
  private:
   void announce(Context& ctx) {
     sent_ = true;
-    for (int p : *intra_) ctx.send(p, {{depth_}});
+    for (int p : *intra_) ctx.send(p, {{depth_}, kTagBfs});
   }
 
   const std::vector<int>* intra_;
@@ -170,7 +174,7 @@ class PeelAlgo final : public VertexAlgorithm {
       peel_round_ = ctx.round();
       tentative_ports_ = alive_port_;
       sent_ = true;
-      for (int p : alive_port_) ctx.send(p, {{peel_round_}});
+      for (int p : alive_port_) ctx.send(p, {{peel_round_}, kTagOrientation});
     }
   }
 
@@ -254,6 +258,7 @@ class WalkAlgo final : public VertexAlgorithm {
       trace.visited.push_back(ctx.neighbor((*intra_)[i]));
       trace.hop_round.push_back(ctx.round());
       Message m;
+      m.tag = kTagWalkToken;
       m.words.reserve(t.payload.size() + 1);
       m.words.push_back(t.id);
       m.words.insert(m.words.end(), t.payload.begin(), t.payload.end());
@@ -305,7 +310,7 @@ class TreeClimbAlgo final : public VertexAlgorithm {
     int budget = bandwidth_;
     while (!held_.empty() && budget-- > 0) {
       sent_ = true;
-      ctx.send(parent_port_, {std::move(held_.front())});
+      ctx.send(parent_port_, {std::move(held_.front()), kTagTreeToken});
       held_.pop_front();
     }
   }
@@ -336,7 +341,7 @@ class ConvergecastAlgo final : public VertexAlgorithm {
     if (done_) return;
     if (ctx.round() == 0) {
       if (!is_root_ && parent_port_ >= 0) {
-        ctx.send(parent_port_, {{kTagChild}});
+        ctx.send(parent_port_, {{kTagChild}, kTagConvergecast});
       }
       return;
     }
@@ -362,7 +367,7 @@ class ConvergecastAlgo final : public VertexAlgorithm {
     }
     if (received_children_ == expected_children_) {
       if (!is_root_ && parent_port_ >= 0) {
-        ctx.send(parent_port_, {{kTagSum, total_}});
+        ctx.send(parent_port_, {{kTagSum, total_}, kTagConvergecast});
       }
       done_ = true;
     }
@@ -413,7 +418,7 @@ class FloodAlgo final : public VertexAlgorithm {
  private:
   void forward(Context& ctx) {
     sent_ = true;
-    for (int p : *intra_) ctx.send(p, {{value_}});
+    for (int p : *intra_) ctx.send(p, {{value_}, kTagBroadcast});
   }
 
   const std::vector<int>* intra_;
@@ -439,7 +444,7 @@ class DiameterCheckAlgo final : public VertexAlgorithm {
           max_id_ = std::max(max_id_, m.words[0]);
         }
       }
-      for (int p : *intra_) ctx.send(p, {{max_id_}});
+      for (int p : *intra_) ctx.send(p, {{max_id_}, kTagDiameter});
     } else if (r == bound_) {
       // Final absorb, then exchange the settled value for comparison.
       for (int p : *intra_) {
@@ -447,21 +452,21 @@ class DiameterCheckAlgo final : public VertexAlgorithm {
           max_id_ = std::max(max_id_, m.words[0]);
         }
       }
-      for (int p : *intra_) ctx.send(p, {{max_id_}});
+      for (int p : *intra_) ctx.send(p, {{max_id_}, kTagDiameter});
     } else if (r == bound_ + 1) {
       for (int p : *intra_) {
         for (const Message& m : ctx.inbox(p)) {
           if (m.words[0] != max_id_) marked_ = true;
         }
       }
-      for (int p : *intra_) ctx.send(p, {{marked_ ? 1 : 0}});
+      for (int p : *intra_) ctx.send(p, {{marked_ ? 1 : 0}, kTagDiameter});
     } else if (r <= bound_ + 2 + 2 * bound_) {
       for (int p : *intra_) {
         for (const Message& m : ctx.inbox(p)) {
           if (m.words[0] == 1) marked_ = true;
         }
       }
-      for (int p : *intra_) ctx.send(p, {{marked_ ? 1 : 0}});
+      for (int p : *intra_) ctx.send(p, {{marked_ ? 1 : 0}, kTagDiameter});
       if (r == bound_ + 2 + 2 * bound_) done_ = true;
     } else {
       done_ = true;
@@ -484,6 +489,7 @@ class DiameterCheckAlgo final : public VertexAlgorithm {
 LeaderElectionResult elect_cluster_leaders(const Graph& g,
                                            const std::vector<int>& cluster_of,
                                            const NetworkOptions& net) {
+  TRACE_SPAN(net.trace, "leader_election");
   const auto intra = intra_cluster_ports(g, cluster_of);
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
   algos.reserve(g.num_vertices());
@@ -508,6 +514,7 @@ BfsTreeResult build_cluster_bfs_trees(const Graph& g,
                                       const std::vector<int>& cluster_of,
                                       const std::vector<VertexId>& leader_of,
                                       const NetworkOptions& net) {
+  TRACE_SPAN(net.trace, "bfs_tree");
   const auto intra = intra_cluster_ports(g, cluster_of);
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
   std::vector<BfsAlgo*> typed(g.num_vertices());
@@ -533,6 +540,7 @@ OrientationResult orient_cluster_edges(const Graph& g,
                                        const std::vector<int>& cluster_of,
                                        int peel_threshold,
                                        const NetworkOptions& net) {
+  TRACE_SPAN(net.trace, "orientation");
   const auto intra = intra_cluster_ports(g, cluster_of);
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
   std::vector<PeelAlgo*> typed(g.num_vertices());
@@ -564,6 +572,7 @@ GatherResult random_walk_gather(const Graph& g,
                                 const std::vector<VertexId>& leader_of,
                                 const std::vector<std::vector<GatherToken>>& tokens,
                                 const GatherOptions& options) {
+  TRACE_SPAN(options.net.trace, "walk_gather");
   const auto intra = intra_cluster_ports(g, cluster_of);
   GatherResult result;
   std::int64_t expected = 0;
@@ -657,6 +666,7 @@ BroadcastResult broadcast_from_leaders(const Graph& g,
                                        const std::vector<VertexId>& leader_of,
                                        const std::vector<std::int64_t>& leader_value,
                                        const NetworkOptions& net) {
+  TRACE_SPAN(net.trace, "broadcast");
   const auto intra = intra_cluster_ports(g, cluster_of);
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
   std::vector<FloodAlgo*> typed(g.num_vertices());
@@ -682,6 +692,7 @@ TreeGatherResult tree_gather(const Graph& g,
                              const std::vector<VertexId>& bfs_parent,
                              const std::vector<std::vector<GatherToken>>& tokens,
                              const NetworkOptions& net) {
+  TRACE_SPAN(net.trace, "tree_gather");
   const int n = g.num_vertices();
   std::int64_t expected = 0;
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
@@ -729,6 +740,7 @@ ConvergecastResult convergecast_fold(const Graph& g,
                                      const std::vector<int>& depth,
                                      const std::vector<std::int64_t>& value,
                                      Fold fold, const NetworkOptions& net) {
+  TRACE_SPAN(net.trace, "convergecast");
   (void)depth;  // the child-announcement protocol needs no depth knowledge
   const int n = g.num_vertices();
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
@@ -762,6 +774,7 @@ DiameterCheckResult check_cluster_diameter(const Graph& g,
                                            const std::vector<int>& cluster_of,
                                            int bound,
                                            const NetworkOptions& net) {
+  TRACE_SPAN(net.trace, "diameter_check");
   const auto intra = intra_cluster_ports(g, cluster_of);
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
   std::vector<DiameterCheckAlgo*> typed(g.num_vertices());

@@ -3,10 +3,23 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/congest/network.h"
+
 namespace ecd::congest {
 
 void RoundLedger::add_measured(std::string label, std::int64_t rounds) {
   entries_.push_back({std::move(label), rounds, true});
+}
+
+void RoundLedger::add_measured(std::string label, const RunStats& stats) {
+  LedgerEntry e;
+  e.label = std::move(label);
+  e.rounds = stats.rounds;
+  e.measured = true;
+  e.messages = stats.messages_sent;
+  e.words = stats.words_sent;
+  e.max_edge_load = stats.max_edge_load;
+  entries_.push_back(std::move(e));
 }
 
 void RoundLedger::add_modeled(std::string label, std::int64_t rounds) {
@@ -38,7 +51,12 @@ std::string RoundLedger::to_string() const {
   std::ostringstream os;
   for (const auto& e : entries_) {
     os << (e.measured ? "[measured] " : "[modeled]  ") << e.label << ": "
-       << e.rounds << "\n";
+       << e.rounds;
+    if (e.messages > 0) {
+      os << " (msgs=" << e.messages << " words=" << e.words
+         << " max-edge-load=" << e.max_edge_load << ")";
+    }
+    os << "\n";
   }
   os << "total measured=" << measured_total()
      << " modeled=" << modeled_total() << "\n";

@@ -15,15 +15,25 @@
 
 namespace ecd::congest {
 
+struct RunStats;  // src/congest/network.h
+
 struct LedgerEntry {
   std::string label;
   std::int64_t rounds = 0;
   bool measured = false;
+  // Traffic carried during this phase, attached by the trace layer when the
+  // phase executed on the simulator; all zero for modeled entries (and for
+  // measured entries recorded without stats).
+  std::int64_t messages = 0;
+  std::int64_t words = 0;
+  int max_edge_load = 0;
 };
 
 class RoundLedger {
  public:
   void add_measured(std::string label, std::int64_t rounds);
+  // Records rounds plus the phase's message/word/edge-load totals.
+  void add_measured(std::string label, const RunStats& stats);
   void add_modeled(std::string label, std::int64_t rounds);
   void merge(const RoundLedger& other);
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/congest/trace.h"
 #include "src/expander/distributed_decomposition.h"
 #include "src/expander/weighted.h"
 #include "src/graph/metrics.h"
@@ -84,38 +85,47 @@ Partition partition_and_gather(const Graph& g, double eps,
   expander::DecompositionOptions dopt = options.decomposition;
   dopt.deterministic = options.deterministic;
   dopt.seed ^= options.seed * 0x9e3779b97f4a7c15ULL;
-  if (options.decomposition_mode == DecompositionMode::kDistributed) {
-    expander::DistributedDecompositionOptions ddopt;
-    ddopt.phi = dopt.phi;
-    ddopt.seed = dopt.seed;
-    ddopt.max_retries = dopt.max_retries;
-    const auto dd =
-        expander::distributed_expander_decompose(g, out.eps_effective, ddopt);
-    out.decomposition = dd.decomposition;
-    out.ledger.add_measured("expander decomposition (distributed sweep)",
-                            dd.measured_rounds);
-  } else {
-    if (options.weighted_volumes && g.is_weighted()) {
-      out.decomposition =
-          expander::expander_decompose_weighted(g, out.eps_effective, dopt)
-              .base;
+  {
+    TRACE_SPAN(options.trace, "phase:decomposition");
+    if (options.decomposition_mode == DecompositionMode::kDistributed) {
+      expander::DistributedDecompositionOptions ddopt;
+      ddopt.phi = dopt.phi;
+      ddopt.seed = dopt.seed;
+      ddopt.max_retries = dopt.max_retries;
+      ddopt.trace = options.trace;
+      const auto dd =
+          expander::distributed_expander_decompose(g, out.eps_effective, ddopt);
+      out.decomposition = dd.decomposition;
+      out.ledger.add_measured("expander decomposition (distributed sweep)",
+                              dd.measured_rounds);
     } else {
-      out.decomposition =
-          expander::expander_decompose(g, out.eps_effective, dopt);
+      if (options.weighted_volumes && g.is_weighted()) {
+        out.decomposition =
+            expander::expander_decompose_weighted(g, out.eps_effective, dopt)
+                .base;
+      } else {
+        out.decomposition =
+            expander::expander_decompose(g, out.eps_effective, dopt);
+      }
+      out.ledger.add_modeled(
+          "expander decomposition (Thm 2.1/2.2)",
+          congest::modeled_decomposition_rounds(n, out.eps_effective,
+                                                options.deterministic));
     }
-    out.ledger.add_modeled(
-        "expander decomposition (Thm 2.1/2.2)",
-        congest::modeled_decomposition_rounds(n, out.eps_effective,
-                                              options.deterministic));
   }
 
   const auto& cluster_of = out.decomposition.cluster_of;
+  congest::NetworkOptions control_net;  // bandwidth-1 control traffic
+  control_net.trace = options.trace;
 
   // Leader election: the paper elects a maximum-cluster-degree vertex.
-  const auto election = congest::elect_cluster_leaders(g, cluster_of);
+  congest::LeaderElectionResult election;
+  {
+    TRACE_SPAN(options.trace, "phase:election");
+    election = congest::elect_cluster_leaders(g, cluster_of, control_net);
+  }
   out.leader_of = election.leader_of;
-  out.ledger.add_measured("leader election (flooding)",
-                          election.stats.rounds);
+  out.ledger.add_measured("leader election (flooding)", election.stats);
 
   // Low-out-degree orientation (Barenboim–Elkin): the peel threshold is the
   // degeneracy, an O(1) constant of the H-minor-free class. Note: BE's
@@ -124,10 +134,14 @@ Partition partition_and_gather(const Graph& g, double eps,
   // peel in Θ(sqrt n) measured phases instead — visible in the ledger and
   // discussed in EXPERIMENTS.md E13.
   const int threshold = std::max(1, graph::degeneracy(g).degeneracy);
-  const auto orientation =
-      congest::orient_cluster_edges(g, cluster_of, threshold);
+  congest::OrientationResult orientation;
+  {
+    TRACE_SPAN(options.trace, "phase:orientation");
+    orientation =
+        congest::orient_cluster_edges(g, cluster_of, threshold, control_net);
+  }
   out.ledger.add_measured("edge orientation (Barenboim-Elkin)",
-                          orientation.stats.rounds);
+                          orientation.stats);
 
   // Token per oriented intra-cluster edge: [u, v, weight, sign]; plus one
   // registration ("hello") token [v, -1, 0, 0] per vertex, which both
@@ -152,18 +166,23 @@ Partition partition_and_gather(const Graph& g, double eps,
   }
   GatherOptions gopt;
   gopt.seed = options.seed * 0x2545F4914F6CDD1DULL + 1;
+  gopt.net.trace = options.trace;
   gopt.net.bandwidth_tokens =
       options.walk_bandwidth > 0
           ? options.walk_bandwidth
           : std::max(1, static_cast<int>(std::ceil(std::log2(std::max(2, n)))));
-  out.gather = congest::random_walk_gather(g, cluster_of, out.leader_of,
-                                           tokens, gopt);
+  {
+    TRACE_SPAN(options.trace, "phase:gather");
+    out.gather = congest::random_walk_gather(g, cluster_of, out.leader_of,
+                                             tokens, gopt);
+  }
   const auto& gather = out.gather;
   out.gather_complete = gather.complete;
   out.ledger.add_measured("topology gather (Lemma 2.4 random walks)",
-                          gather.stats.rounds);
+                          gather.stats);
 
   // Leader-side reconstruction.
+  TRACE_SPAN(options.trace, "phase:reconstruct");
   const auto members = expander::cluster_members(out.decomposition);
   out.clusters.resize(out.decomposition.num_clusters);
   for (int c = 0; c < out.decomposition.num_clusters; ++c) {
@@ -208,7 +227,7 @@ std::int64_t return_results(Partition& partition,
       throw std::logic_error("reverse delivery dropped or mixed a reply");
     }
   }
-  partition.ledger.add_measured(label, delivery.stats.rounds);
+  partition.ledger.add_measured(label, delivery.stats);
   return delivery.stats.rounds;
 }
 

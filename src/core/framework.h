@@ -53,6 +53,12 @@ struct FrameworkOptions {
   // <= ε'·w(E) instead of edge count) — the §1.3 weighted-problems variant.
   // Ignored on unweighted graphs.
   bool weighted_volumes = false;
+  // Observability (src/congest/trace.h): when set, the pipeline opens a
+  // "phase:*" span around each of its five phases (decomposition, election,
+  // orientation, gather, reconstruct), the primitives nest their own spans
+  // inside, and every simulator round/edge/message event is reported. Null:
+  // zero overhead.
+  congest::TraceSink* trace = nullptr;
 };
 
 struct Cluster {

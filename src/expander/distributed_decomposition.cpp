@@ -9,6 +9,7 @@
 
 #include "src/congest/network.h"
 #include "src/congest/primitives.h"
+#include "src/congest/trace.h"
 #include "src/expander/conductance.h"
 
 namespace ecd::expander {
@@ -154,9 +155,12 @@ LevelOutcome run_level(const Graph& g, std::vector<int>& piece_of,
                        const DistributedDecompositionOptions& options,
                        std::vector<bool>& finalized, int level,
                        std::vector<double>& best_cut_seen) {
+  TRACE_SPAN(options.trace, "decomposition_level");
   LevelOutcome outcome;
   const int n = g.num_vertices();
   const auto intra = intra_ports(g, piece_of);
+  congest::NetworkOptions net;
+  net.trace = options.trace;
 
   // Phase 1+2: power iteration and score exchange (one Network run).
   const int iterations = auto_iterations(n, phi, options.power_iterations);
@@ -171,15 +175,15 @@ LevelOutcome run_level(const Graph& g, std::vector<int>& piece_of,
     algos.push_back(std::move(a));
   }
   {
-    congest::Network network(g);
+    congest::Network network(g, net);
     outcome.rounds += network.run(algos).rounds;
   }
 
   // Phase 3+4: per-piece leader and BFS tree.
-  const auto election = congest::elect_cluster_leaders(g, piece_of);
+  const auto election = congest::elect_cluster_leaders(g, piece_of, net);
   outcome.rounds += election.stats.rounds;
   const auto tree =
-      congest::build_cluster_bfs_trees(g, piece_of, election.leader_of);
+      congest::build_cluster_bfs_trees(g, piece_of, election.leader_of, net);
   outcome.rounds += tree.stats.rounds;
 
   // Phase 5: per-piece score range (the power iteration concentrates
@@ -193,11 +197,11 @@ LevelOutcome run_level(const Graph& g, std::vector<int>& piece_of,
   }
   const auto cc_min = congest::convergecast_fold(
       g, piece_of, election.leader_of, tree.parent, tree.depth, score_fixed,
-      congest::Fold::kMin);
+      congest::Fold::kMin, net);
   outcome.rounds += cc_min.stats.rounds;
   const auto cc_max = congest::convergecast_fold(
       g, piece_of, election.leader_of, tree.parent, tree.depth, score_fixed,
-      congest::Fold::kMax);
+      congest::Fold::kMax, net);
   outcome.rounds += cc_max.stats.rounds;
   std::vector<std::int64_t> leader_min(n, 0), leader_max(n, 0);
   for (VertexId v = 0; v < n; ++v) {
@@ -207,10 +211,10 @@ LevelOutcome run_level(const Graph& g, std::vector<int>& piece_of,
     }
   }
   const auto bc_min = congest::broadcast_from_leaders(
-      g, piece_of, election.leader_of, leader_min);
+      g, piece_of, election.leader_of, leader_min, net);
   outcome.rounds += bc_min.stats.rounds;
   const auto bc_max = congest::broadcast_from_leaders(
-      g, piece_of, election.leader_of, leader_max);
+      g, piece_of, election.leader_of, leader_max, net);
   outcome.rounds += bc_max.stats.rounds;
   // Per-vertex bucket function over its piece's range.
   auto bucket_of = [&](VertexId v, double score) {
@@ -240,7 +244,8 @@ LevelOutcome run_level(const Graph& g, std::vector<int>& piece_of,
                  (in_s ? static_cast<std::int64_t>(intra[v].size()) : 0);
     }
     const auto cc = congest::convergecast_sum(
-        g, piece_of, election.leader_of, tree.parent, tree.depth, value);
+        g, piece_of, election.leader_of, tree.parent, tree.depth, value,
+        net);
     outcome.rounds += cc.stats.rounds;
     packed_by_bucket[b] = cc.sum;
   }
@@ -282,8 +287,8 @@ LevelOutcome run_level(const Graph& g, std::vector<int>& piece_of,
       verdict[v] = piece_choice[piece_of[v]] + 1;
     }
   }
-  const auto bc = congest::broadcast_from_leaders(g, piece_of,
-                                                  election.leader_of, verdict);
+  const auto bc = congest::broadcast_from_leaders(
+      g, piece_of, election.leader_of, verdict, net);
   outcome.rounds += bc.stats.rounds;
 
   // Apply splits: vertices move to the high side by flipping a local bit;

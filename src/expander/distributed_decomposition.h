@@ -30,6 +30,10 @@
 #include "src/expander/decomposition.h"
 #include "src/graph/graph.h"
 
+namespace ecd::congest {
+class TraceSink;  // src/congest/trace.h
+}
+
 namespace ecd::expander {
 
 struct DistributedDecompositionOptions {
@@ -41,6 +45,8 @@ struct DistributedDecompositionOptions {
   int max_levels = 64;
   int max_retries = 4;
   std::uint64_t seed = 1;
+  // Observes every simulator round of the construction (null: no tracing).
+  congest::TraceSink* trace = nullptr;
 };
 
 struct DistributedDecompositionResult {

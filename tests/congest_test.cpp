@@ -441,6 +441,65 @@ TEST(RoundLedger, SeparatesMeasuredFromModeled) {
   EXPECT_NE(ledger.to_string().find("[modeled]"), std::string::npos);
 }
 
+TEST(RoundLedger, AddMeasuredFromStatsRecordsTraffic) {
+  RunStats stats;
+  stats.rounds = 12;
+  stats.messages_sent = 340;
+  stats.words_sent = 900;
+  stats.max_edge_load = 3;
+  RoundLedger ledger;
+  ledger.add_measured("walk gather", stats);
+  EXPECT_EQ(ledger.measured_total(), 12);
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  const auto& e = ledger.entries()[0];
+  EXPECT_TRUE(e.measured);
+  EXPECT_EQ(e.rounds, 12);
+  EXPECT_EQ(e.messages, 340);
+  EXPECT_EQ(e.words, 900);
+  EXPECT_EQ(e.max_edge_load, 3);
+}
+
+TEST(RoundLedger, MergePreservesTrafficStats) {
+  RunStats stats;
+  stats.rounds = 4;
+  stats.messages_sent = 10;
+  stats.words_sent = 25;
+  stats.max_edge_load = 2;
+  RoundLedger other;
+  other.add_measured("election", stats);
+  other.add_modeled("decomposition", 50);
+  RoundLedger ledger;
+  ledger.add_measured("setup", 1);
+  ledger.merge(other);
+  EXPECT_EQ(ledger.measured_total(), 5);
+  EXPECT_EQ(ledger.modeled_total(), 50);
+  ASSERT_EQ(ledger.entries().size(), 3u);
+  EXPECT_EQ(ledger.entries()[1].messages, 10);
+  EXPECT_EQ(ledger.entries()[1].words, 25);
+  EXPECT_EQ(ledger.entries()[1].max_edge_load, 2);
+}
+
+TEST(RoundLedger, ToStringShowsTrafficOnlyWhenRecorded) {
+  RunStats stats;
+  stats.rounds = 2;
+  stats.messages_sent = 7;
+  stats.words_sent = 14;
+  stats.max_edge_load = 1;
+  RoundLedger ledger;
+  ledger.add_measured("plain", 3);
+  ledger.add_measured("traced", stats);
+  const std::string text = ledger.to_string();
+  EXPECT_NE(text.find("msgs=7 words=14 max-edge-load=1"), std::string::npos)
+      << text;
+  // The stats-free entry stays on the old compact format.
+  const auto plain_pos = text.find("plain");
+  const auto traced_pos = text.find("traced");
+  ASSERT_NE(plain_pos, std::string::npos);
+  ASSERT_NE(traced_pos, std::string::npos);
+  EXPECT_EQ(text.substr(plain_pos, traced_pos - plain_pos).find("msgs="),
+            std::string::npos);
+}
+
 TEST(RoundLedger, ModeledFormulaGrowsWithNAndShrinkingEps) {
   EXPECT_LT(modeled_decomposition_rounds(1000, 0.2, false),
             modeled_decomposition_rounds(100000, 0.2, false));

@@ -1,0 +1,383 @@
+// The observability layer (src/congest/trace.h): reconciliation of trace
+// totals against RunStats and the RoundLedger, span nesting, exporters,
+// and enriched congestion errors. See DESIGN.md §9.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/congest/network.h"
+#include "src/congest/primitives.h"
+#include "src/congest/trace.h"
+#include "src/core/framework.h"
+#include "src/graph/generators.h"
+
+namespace ecd::congest {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+using graph::VertexId;
+
+std::vector<int> single_cluster(const Graph& g) {
+  return std::vector<int>(g.num_vertices(), 0);
+}
+
+// Runs a deterministic walk gather; optionally observed by `sink`.
+GatherResult run_gather(const Graph& g, TraceSink* sink) {
+  const auto cluster = single_cluster(g);
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tokens[v].push_back({v, {v, 1000 + v}});
+  }
+  GatherOptions opt;
+  opt.net.bandwidth_tokens = 4;
+  opt.net.trace = sink;
+  return random_walk_gather(g, cluster, leaders.leader_of, tokens, opt);
+}
+
+TEST(Trace, NullSinkLeavesBehaviourUnchanged) {
+  Rng rng(11);
+  Graph g = graph::random_maximal_planar(50, rng);
+  const auto plain = run_gather(g, nullptr);
+  MetricsCollector collector;
+  const auto traced = run_gather(g, &collector);
+  // Identical seeds, identical schedule: the sink must observe, not perturb.
+  EXPECT_EQ(plain.stats.rounds, traced.stats.rounds);
+  EXPECT_EQ(plain.stats.messages_sent, traced.stats.messages_sent);
+  EXPECT_EQ(plain.stats.words_sent, traced.stats.words_sent);
+  EXPECT_EQ(plain.stats.max_edge_load, traced.stats.max_edge_load);
+  ASSERT_TRUE(plain.complete);
+  ASSERT_TRUE(traced.complete);
+  EXPECT_EQ(plain.delivered[0].size(), traced.delivered[0].size());
+}
+
+TEST(Trace, TotalsReconcileExactlyWithRunStats) {
+  Rng rng(13);
+  Graph g = graph::random_maximal_planar(60, rng);
+  MetricsCollector collector;
+  const auto r = run_gather(g, &collector);
+  ASSERT_TRUE(r.complete);
+  const RunStats totals = collector.totals();
+  EXPECT_EQ(totals.rounds, r.stats.rounds);
+  EXPECT_EQ(totals.messages_sent, r.stats.messages_sent);
+  EXPECT_EQ(totals.words_sent, r.stats.words_sent);
+  EXPECT_EQ(totals.max_edge_load, r.stats.max_edge_load);
+}
+
+TEST(Trace, TagTrafficSumsToTotalMessages) {
+  Rng rng(17);
+  Graph g = graph::random_maximal_planar(40, rng);
+  MetricsCollector collector;
+  run_gather(g, &collector);
+  std::int64_t tagged_messages = 0, tagged_words = 0;
+  for (const auto& [tag, stats] : collector.tag_stats()) {
+    tagged_messages += stats.messages;
+    tagged_words += stats.words;
+  }
+  EXPECT_EQ(tagged_messages, collector.totals().messages_sent);
+  EXPECT_EQ(tagged_words, collector.totals().words_sent);
+  // The gather's traffic is walk tokens.
+  ASSERT_TRUE(collector.tag_stats().count(kTagWalkToken));
+  EXPECT_GT(collector.tag_stats().at(kTagWalkToken).messages, 0);
+  EXPECT_STREQ(tag_name(kTagWalkToken), "walk_token");
+}
+
+TEST(Trace, PerRoundSamplesSumToTotals) {
+  Rng rng(19);
+  Graph g = graph::random_maximal_planar(40, rng);
+  MetricsCollector collector;
+  run_gather(g, &collector);
+  std::int64_t messages = 0, words = 0;
+  for (const auto& s : collector.rounds()) {
+    messages += s.messages;
+    words += s.words;
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(collector.rounds().size()),
+            collector.totals().rounds);
+  EXPECT_EQ(messages, collector.totals().messages_sent);
+  EXPECT_EQ(words, collector.totals().words_sent);
+  // Global round numbering is strictly increasing across runs.
+  for (std::size_t i = 1; i < collector.rounds().size(); ++i) {
+    EXPECT_EQ(collector.rounds()[i].round, collector.rounds()[i - 1].round + 1);
+  }
+}
+
+TEST(Trace, SpansNestAndPrimitiveSpansSitInsidePhases) {
+  Graph g = graph::grid(8, 8);
+  MetricsCollector collector;
+  core::FrameworkOptions opt;
+  opt.trace = &collector;
+  const auto p = core::partition_and_gather(g, 0.3, opt);
+  ASSERT_TRUE(p.gather_complete);
+
+  std::vector<std::string> phase_names;
+  bool saw_nested_primitive = false;
+  for (const auto& s : collector.spans()) {
+    EXPECT_TRUE(s.closed) << s.name;
+    if (s.depth == 0) phase_names.push_back(s.name);
+    if (s.depth == 1 &&
+        (s.name == "leader_election" || s.name == "walk_gather" ||
+         s.name == "orientation")) {
+      saw_nested_primitive = true;
+    }
+  }
+  EXPECT_EQ(phase_names,
+            (std::vector<std::string>{"phase:decomposition", "phase:election",
+                                      "phase:orientation", "phase:gather",
+                                      "phase:reconstruct"}));
+  EXPECT_TRUE(saw_nested_primitive);
+}
+
+// The ISSUE acceptance criterion: for a partition_and_gather run with a
+// MetricsCollector attached, per-span round counts sum to the ledger's
+// measured total and per-span message/word counts sum to RunStats.
+TEST(Trace, PhaseSpansReconcileWithLedgerAndRunStats) {
+  Rng rng(23);
+  Graph g = graph::random_maximal_planar(120, rng);
+  MetricsCollector collector;
+  core::FrameworkOptions opt;
+  opt.trace = &collector;
+  const auto p = core::partition_and_gather(g, 0.3, opt);
+  ASSERT_TRUE(p.gather_complete);
+
+  std::int64_t span_rounds = 0, span_messages = 0, span_words = 0;
+  for (const auto& s : collector.spans()) {
+    if (s.depth != 0) continue;
+    span_rounds += s.rounds;
+    span_messages += s.messages;
+    span_words += s.words;
+  }
+  EXPECT_EQ(span_rounds, p.ledger.measured_total());
+  EXPECT_EQ(span_messages, collector.totals().messages_sent);
+  EXPECT_EQ(span_words, collector.totals().words_sent);
+
+  // Ledger entries carry the per-phase traffic recorded by the trace layer,
+  // and their sums agree with the collector's grand totals.
+  std::int64_t ledger_messages = 0, ledger_words = 0;
+  int ledger_max_load = 0;
+  for (const auto& e : p.ledger.entries()) {
+    if (!e.measured) continue;
+    ledger_messages += e.messages;
+    ledger_words += e.words;
+    ledger_max_load = std::max(ledger_max_load, e.max_edge_load);
+  }
+  EXPECT_EQ(ledger_messages, collector.totals().messages_sent);
+  EXPECT_EQ(ledger_words, collector.totals().words_sent);
+  EXPECT_EQ(ledger_max_load, collector.totals().max_edge_load);
+}
+
+// Minimal structure-aware JSON checker: balanced {} and [] outside strings,
+// valid escapes, and nothing after the top-level value.
+bool json_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false, escaped = false, seen_value = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; seen_value = true; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+    if (seen_value && depth == 0 && !std::isspace(static_cast<unsigned char>(c)) &&
+        c != '}' && c != ']') {
+      return false;
+    }
+  }
+  return depth == 0 && !in_string && seen_value;
+}
+
+TEST(Trace, JsonlExportIsParseablePerLine) {
+  Rng rng(29);
+  Graph g = graph::random_maximal_planar(40, rng);
+  MetricsCollector collector;
+  core::FrameworkOptions opt;
+  opt.trace = &collector;
+  core::partition_and_gather(g, 0.3, opt);
+
+  std::ostringstream os;
+  export_jsonl(collector, os);
+  std::istringstream lines(os.str());
+  std::string line;
+  int count = 0;
+  bool saw_meta = false, saw_span = false, saw_tag = false, saw_edge = false;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(json_balanced(line)) << line;
+    ++count;
+    saw_meta |= line.find("\"type\":\"meta\"") != std::string::npos;
+    saw_span |= line.find("\"type\":\"span\"") != std::string::npos;
+    saw_tag |= line.find("\"type\":\"tag\"") != std::string::npos;
+    saw_edge |= line.find("\"type\":\"edge\"") != std::string::npos;
+  }
+  EXPECT_GT(count, 10);
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_tag);
+  EXPECT_TRUE(saw_edge);
+}
+
+TEST(Trace, ChromeTraceExportIsParseable) {
+  Rng rng(31);
+  Graph g = graph::random_maximal_planar(40, rng);
+  MetricsCollector collector;
+  core::FrameworkOptions opt;
+  opt.trace = &collector;
+  core::partition_and_gather(g, 0.3, opt);
+
+  std::ostringstream os;
+  export_chrome_trace(collector, os);
+  const std::string text = os.str();
+  EXPECT_TRUE(json_balanced(text));
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // spans
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);  // counters
+  EXPECT_NE(text.find("phase:gather"), std::string::npos);
+}
+
+TEST(Trace, HotspotReportNamesCongestedEdgesAndPercentiles) {
+  Rng rng(37);
+  Graph g = graph::random_maximal_planar(60, rng);
+  MetricsCollector collector;
+  core::FrameworkOptions opt;
+  opt.trace = &collector;
+  core::partition_and_gather(g, 0.3, opt);
+
+  const std::string report = hotspot_report(collector, 5);
+  EXPECT_NE(report.find("top congested directed edges"), std::string::npos);
+  EXPECT_NE(report.find("p50="), std::string::npos);
+  EXPECT_NE(report.find("p99="), std::string::npos);
+  EXPECT_NE(report.find("phase:gather"), std::string::npos);
+  // Percentiles are sane: p50 <= p99 <= peak load.
+  EXPECT_LE(collector.load_percentile(50), collector.load_percentile(99));
+  EXPECT_LE(collector.load_percentile(99),
+            static_cast<double>(collector.totals().max_edge_load));
+  EXPECT_GE(collector.load_percentile(50), 1.0);  // only loaded edges sampled
+  // Top-k really is bounded and sorted.
+  const auto top = collector.top_edges(3);
+  ASSERT_LE(top.size(), 3u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].messages, top[i].messages);
+  }
+}
+
+class DoubleSendAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    ctx.send(0, {{1}});
+    ctx.send(0, {{2}});
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Trace, CongestionErrorCarriesRoundEdgeAndBudget) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<DoubleSendAlgo>());
+  algos.push_back(std::make_unique<DoubleSendAlgo>());
+  MetricsCollector collector;
+  NetworkOptions opt;
+  opt.trace = &collector;
+  Network net(g, opt);
+  try {
+    net.run(algos);
+    FAIL() << "expected CongestionError";
+  } catch (const CongestionError& err) {
+    EXPECT_EQ(err.kind(), CongestionError::Kind::kBandwidth);
+    EXPECT_EQ(err.round(), 0);
+    EXPECT_EQ(err.from(), 0);
+    EXPECT_EQ(err.to(), 1);
+    EXPECT_EQ(err.used(), 2);
+    EXPECT_EQ(err.budget(), 1);
+    const std::string what = err.what();
+    EXPECT_NE(what.find("edge 0->1"), std::string::npos) << what;
+    EXPECT_NE(what.find("round 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("budget 1"), std::string::npos) << what;
+  }
+  // The sink saw the violation before the throw.
+  ASSERT_EQ(collector.violations().size(), 1u);
+  EXPECT_EQ(collector.violations()[0].used, 2);
+  EXPECT_EQ(collector.violations()[0].budget, 1);
+}
+
+class FatSendAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    Message m;
+    m.words.assign(kMaxMessageWords + 2, 7);
+    ctx.send(0, std::move(m));
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Trace, MessageSizeErrorCarriesWordCounts) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<FatSendAlgo>());
+  algos.push_back(std::make_unique<FatSendAlgo>());
+  Network net(g);
+  try {
+    net.run(algos);
+    FAIL() << "expected CongestionError";
+  } catch (const CongestionError& err) {
+    EXPECT_EQ(err.kind(), CongestionError::Kind::kMessageSize);
+    EXPECT_EQ(err.used(), kMaxMessageWords + 2);
+    EXPECT_EQ(err.budget(), kMaxMessageWords);
+    EXPECT_NE(std::string(err.what()).find("O(log n)"), std::string::npos);
+  }
+}
+
+TEST(Trace, ViolationsExportedInJsonl) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<DoubleSendAlgo>());
+  algos.push_back(std::make_unique<DoubleSendAlgo>());
+  MetricsCollector collector;
+  NetworkOptions opt;
+  opt.trace = &collector;
+  Network net(g, opt);
+  EXPECT_THROW(net.run(algos), CongestionError);
+  std::ostringstream os;
+  export_jsonl(collector, os);
+  EXPECT_NE(os.str().find("\"type\":\"violation\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"kind\":\"bandwidth\""), std::string::npos);
+}
+
+TEST(Trace, SpanGuardToleratesNullSink) {
+  // TRACE_SPAN with a null sink must compile to a no-op.
+  TRACE_SPAN(nullptr, "nothing");
+  MetricsCollector collector;
+  {
+    TRACE_SPAN(&collector, "outer");
+    { TRACE_SPAN(&collector, "inner"); }
+  }
+  ASSERT_EQ(collector.spans().size(), 2u);
+  EXPECT_EQ(collector.spans()[0].name, "outer");
+  EXPECT_EQ(collector.spans()[0].depth, 0);
+  EXPECT_EQ(collector.spans()[1].name, "inner");
+  EXPECT_EQ(collector.spans()[1].depth, 1);
+  EXPECT_TRUE(collector.spans()[0].closed);
+  EXPECT_TRUE(collector.spans()[1].closed);
+}
+
+}  // namespace
+}  // namespace ecd::congest
