@@ -1,0 +1,271 @@
+// Substrate microbenchmark — the CONGEST simulator hot loop itself, with no
+// algorithmic work on top (EXPERIMENTS.md "Simulator substrate").
+//
+// Three traffic shapes over grid graphs at n ∈ {1k, 10k, 100k}:
+//   flood      one wavefront: every vertex forwards a value once, then the
+//              run drains (rounds ≈ diameter, messages = 2m). Dominated by
+//              per-round fixed costs — the delivery scan and termination
+//              detection.
+//   ping_pong  full-duplex saturation: every vertex sends on every port for
+//              a fixed number of rounds (messages/round = 2m). Dominated by
+//              per-message costs — send, enforcement, delivery.
+//   tree       convergecast-style: one token per vertex climbs a BFS tree at
+//              bandwidth 4 — the gather traffic pattern of Theorem 2.6.
+//
+// Counters:
+//   rounds_per_sec     simulated rounds per wall-clock second
+//   messages_per_sec   delivered messages per wall-clock second
+//   allocs_per_round   heap allocations per round during one steady-state
+//                      run (warm Network, excludes per-run algorithm
+//                      construction); ~0 is the substrate's contract
+//
+// The Network is constructed outside the timed loop and reused across
+// iterations — the framework and the distributed decomposition run dozens
+// of Network::run calls on the same graph, so cached-topology reuse is the
+// representative usage, not a bench trick.
+#define ECD_BENCH_COUNT_ALLOCS 1
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/congest/network.h"
+
+namespace {
+
+using namespace ecd;
+using congest::Context;
+using congest::Message;
+using congest::Network;
+using congest::NetworkOptions;
+using congest::RunStats;
+using congest::VertexAlgorithm;
+using graph::VertexId;
+
+// One wavefront: the source announces, everyone forwards on first receipt.
+class FloodAlgo final : public VertexAlgorithm {
+ public:
+  explicit FloodAlgo(bool is_source) : value_(is_source ? 1 : -1) {}
+
+  void round(Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    if (ctx.round() == 0) {
+      if (value_ != -1) forward(ctx);
+      return;
+    }
+    if (value_ != -1) return;
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      if (!ctx.inbox(p).empty()) {
+        value_ = ctx.inbox(p)[0].words[0];
+        forward(ctx);
+        return;
+      }
+    }
+  }
+  bool finished() const override { return started_ && !sent_; }
+
+ private:
+  void forward(Context& ctx) {
+    sent_ = true;
+    for (int p = 0; p < ctx.num_ports(); ++p) ctx.send(p, {{value_}});
+  }
+  std::int64_t value_;
+  bool started_ = false;
+  bool sent_ = false;
+};
+
+// Saturation: every directed edge carries one message every round.
+class PingPongAlgo final : public VertexAlgorithm {
+ public:
+  explicit PingPongAlgo(int rounds) : rounds_(rounds) {}
+
+  void round(Context& ctx) override {
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      for (const Message& m : ctx.inbox(p)) sink_ += m.words[0];
+    }
+    if (ctx.round() < rounds_) {
+      for (int p = 0; p < ctx.num_ports(); ++p) {
+        ctx.send(p, {{static_cast<std::int64_t>(ctx.id()), sink_ & 1}});
+      }
+    } else {
+      done_ = true;
+    }
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  int rounds_;
+  std::int64_t sink_ = 0;
+  bool done_ = false;
+};
+
+// One token per vertex climbs to the root along a host-computed BFS tree.
+class TreeClimbAlgo final : public VertexAlgorithm {
+ public:
+  TreeClimbAlgo(bool is_root, int parent_port, int bandwidth)
+      : is_root_(is_root), parent_port_(parent_port), bandwidth_(bandwidth) {}
+
+  void round(Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      for (const Message& m : ctx.inbox(p)) held_ += m.words[0];
+    }
+    if (ctx.round() == 0) held_ += 1;  // this vertex's own token
+    if (is_root_) {
+      absorbed_ += held_;
+      held_ = 0;
+      return;
+    }
+    if (parent_port_ < 0) return;
+    // Tokens are fungible counts here: ship up to `bandwidth_` per round,
+    // one message per token, like the gather primitives do.
+    while (held_ > 0 && ctx.round() > 0) {
+      int batch = 0;
+      while (held_ > 0 && batch < bandwidth_) {
+        ctx.send(parent_port_, {{1}});
+        --held_;
+        ++batch;
+        sent_ = true;
+      }
+      break;
+    }
+  }
+  bool finished() const override { return started_ && held_ == 0 && !sent_; }
+
+ private:
+  bool is_root_;
+  int parent_port_;
+  int bandwidth_;
+  std::int64_t held_ = 0;
+  std::int64_t absorbed_ = 0;
+  bool started_ = false;
+  bool sent_ = false;
+};
+
+graph::Graph grid_of(int n) {
+  int side = 1;
+  while (side * side < n) ++side;
+  return graph::grid(side, side);
+}
+
+// Host-side BFS from vertex 0: parent port of every vertex (-1 for root).
+std::vector<int> bfs_parent_ports(const graph::Graph& g) {
+  std::vector<int> parent_port(g.num_vertices(), -1);
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::vector<VertexId> queue{0};
+  seen[0] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    const auto nbrs = g.neighbors(v);
+    for (int p = 0; p < static_cast<int>(nbrs.size()); ++p) {
+      const VertexId u = nbrs[p];
+      if (seen[u]) continue;
+      seen[u] = 1;
+      // u's parent is v; find u's port back to v.
+      const auto unbrs = g.neighbors(u);
+      for (int q = 0; q < static_cast<int>(unbrs.size()); ++q) {
+        if (unbrs[q] == v) parent_port[u] = q;
+      }
+      queue.push_back(u);
+    }
+  }
+  return parent_port;
+}
+
+template <typename MakeAlgos>
+void run_substrate_bench(benchmark::State& state, const graph::Graph& g,
+                         const NetworkOptions& opt, MakeAlgos make_algos) {
+  Network net(g, opt);
+  std::int64_t total_rounds = 0;
+  std::int64_t total_messages = 0;
+  for (auto _ : state) {
+    auto algos = make_algos();
+    const RunStats stats = net.run(algos);
+    total_rounds += stats.rounds;
+    total_messages += stats.messages_sent;
+  }
+  // Steady-state allocation audit: one warm-up run (grows arena overflow /
+  // algorithm-internal capacity), then count a second run. Algorithm
+  // construction happens outside the scope — the substrate's allocations
+  // are what is on trial.
+  std::int64_t allocs = 0;
+  std::int64_t audit_rounds = 0;
+  {
+    auto warm = make_algos();
+    net.run(warm);
+    auto audit = make_algos();
+    bench::AllocScope scope;
+    audit_rounds = net.run(audit).rounds;
+    allocs = scope.delta();
+  }
+  state.counters["n"] = g.num_vertices();
+  state.counters["m"] = g.num_edges();
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_rounds), benchmark::Counter::kIsRate);
+  state.counters["messages_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_messages), benchmark::Counter::kIsRate);
+  bench::register_alloc_counter(state, allocs, audit_rounds);
+}
+
+void BM_Flood(benchmark::State& state) {
+  const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
+  run_substrate_bench(state, g, {}, [&] {
+    std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+    algos.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      algos.push_back(std::make_unique<FloodAlgo>(v == 0));
+    }
+    return algos;
+  });
+}
+
+void BM_PingPong(benchmark::State& state) {
+  const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
+  const int rounds = static_cast<int>(state.range(1));
+  run_substrate_bench(state, g, {}, [&] {
+    std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+    algos.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      algos.push_back(std::make_unique<PingPongAlgo>(rounds));
+    }
+    return algos;
+  });
+}
+
+void BM_TreeClimb(benchmark::State& state) {
+  const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
+  const std::vector<int> parent_port = bfs_parent_ports(g);
+  NetworkOptions opt;
+  opt.bandwidth_tokens = 4;
+  run_substrate_bench(state, g, opt, [&] {
+    std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+    algos.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      algos.push_back(std::make_unique<TreeClimbAlgo>(
+          v == 0, parent_port[v], opt.bandwidth_tokens));
+    }
+    return algos;
+  });
+}
+
+BENCHMARK(BM_Flood)
+    ->Arg(1024)
+    ->Arg(10240)
+    ->Arg(102400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PingPong)
+    ->Args({1024, 64})
+    ->Args({10240, 64})
+    ->Args({102400, 16})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TreeClimb)
+    ->Arg(1024)
+    ->Arg(10240)
+    ->Arg(102400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

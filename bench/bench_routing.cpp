@@ -11,6 +11,12 @@
 //   congest_words    total words the CONGEST gather moved
 //   trace_*          congestion counters from an untimed traced re-run
 //                    (peak/p99 edge load, words per phase)
+//   allocs_per_round heap allocations per simulated round across one whole
+//                    partition_and_gather pipeline (host-side decomposition
+//                    work included — contrast with bench_network, whose
+//                    audit isolates the substrate and reads ~0)
+#define ECD_BENCH_COUNT_ALLOCS 1
+
 #include <cmath>
 
 #include "bench/bench_util.h"
@@ -63,6 +69,19 @@ void BM_Routing(benchmark::State& state) {
   traced.trace = &collector;
   core::partition_and_gather(g, 0.3, traced);
   bench::register_trace_counters(state, collector);
+
+  // Allocation audit over one full pipeline run.
+  std::int64_t allocs = 0;
+  std::int64_t alloc_rounds = 0;
+  {
+    bench::AllocScope scope;
+    const auto audit = core::partition_and_gather(g, 0.3, {});
+    allocs = scope.delta();
+    for (const auto& e : audit.ledger.entries()) {
+      if (e.measured) alloc_rounds += e.rounds;
+    }
+  }
+  bench::register_alloc_counter(state, allocs, alloc_rounds);
 }
 
 void RoutingArgs(benchmark::internal::Benchmark* b) {

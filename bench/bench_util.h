@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <string>
 
 #include "src/congest/trace.h"
@@ -95,4 +99,82 @@ inline void register_trace_counters(benchmark::State& state,
   }
 }
 
+// --- Allocation accounting ------------------------------------------------
+//
+// Heap traffic per simulated round is a first-class bench output: the
+// message substrate promises ~0 allocations/round in steady state
+// (DESIGN.md "Simulator performance"), and a regression here silently eats
+// the round-rate. A bench binary opts in by defining
+// `ECD_BENCH_COUNT_ALLOCS 1` *before* including this header; that emits
+// counting replacements of the global operator new/delete. The replacements
+// must live in exactly one translation unit per binary — each bench target
+// is a single .cpp, so defining the macro in that file is safe.
+//
+// Without the macro the counter stays at zero and `AllocScope::delta()`
+// reports 0; `register_alloc_counter` then skips the counter so rows never
+// show a misleading hard zero.
+
+inline std::atomic<std::int64_t>& allocation_counter() {
+  static std::atomic<std::int64_t> count{0};
+  return count;
+}
+
+inline std::int64_t allocation_count() {
+  return allocation_counter().load(std::memory_order_relaxed);
+}
+
+// Measures heap allocations performed while the scope is alive.
+class AllocScope {
+ public:
+  AllocScope() : start_(allocation_count()) {}
+  std::int64_t delta() const { return allocation_count() - start_; }
+
+ private:
+  std::int64_t start_;
+};
+
+// Reports `allocs / rounds` as counter `allocs_per_round` (only when the
+// binary compiled the counting hooks in; otherwise every value would read
+// as an impossible 0).
+inline void register_alloc_counter(benchmark::State& state,
+                                   std::int64_t allocs, std::int64_t rounds) {
+#if defined(ECD_BENCH_COUNT_ALLOCS) && ECD_BENCH_COUNT_ALLOCS
+  state.counters["allocs_per_round"] =
+      rounds > 0 ? static_cast<double>(allocs) / static_cast<double>(rounds)
+                 : 0.0;
+#else
+  (void)state, (void)allocs, (void)rounds;
+#endif
+}
+
 }  // namespace ecd::bench
+
+#if defined(ECD_BENCH_COUNT_ALLOCS) && ECD_BENCH_COUNT_ALLOCS
+// Counting replacements for the global allocation functions. Deliberately
+// non-inline (replacement functions may not be inline); the macro guard
+// keeps them out of binaries that did not opt in. Alignment-extended
+// overloads are left at their defaults — the simulator performs no
+// over-aligned allocations, and missing a hypothetical one only
+// undercounts.
+void* operator new(std::size_t size) {
+  ecd::bench::allocation_counter().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ecd::bench::allocation_counter().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+#endif  // ECD_BENCH_COUNT_ALLOCS

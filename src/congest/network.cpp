@@ -1,5 +1,7 @@
 #include "src/congest/network.h"
 
+#include <algorithm>
+#include <cassert>
 #include <sstream>
 #include <utility>
 
@@ -11,6 +13,11 @@ using graph::Graph;
 using graph::VertexId;
 
 namespace {
+
+// Ceiling on preallocated arena slots per buffer. An enforced network whose
+// 2m * bandwidth_tokens slot count exceeds this falls back to per-port
+// vectors rather than committing to a multi-gigabyte slab.
+constexpr std::int64_t kMaxArenaSlots = std::int64_t{1} << 22;
 
 std::string describe_violation(CongestionError::Kind kind, std::int64_t round,
                                VertexId from, VertexId to, int used,
@@ -42,134 +49,241 @@ CongestionError::CongestionError(Kind kind, std::int64_t round,
       used_(used),
       budget_(budget) {}
 
-void Context::send(int port, Message message) {
-  if (port < 0 || port >= num_ports()) {
-    throw std::out_of_range("send: bad port");
+Network::Network(const Graph& g, NetworkOptions options)
+    : g_(g), options_(options), n_(g.num_vertices()) {
+  // Directed-port CSR: port p of vertex v is global port port_base_[v] + p,
+  // aligned with Graph::neighbors(v).
+  port_base_.resize(n_ + 1);
+  port_base_[0] = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    port_base_[v + 1] = port_base_[v] + g.degree(v);
   }
-  if (options_->enforce_bandwidth) {
+  num_dir_ports_ = port_base_[n_];
+
+  // Pair up the two directed ports of every edge: messages sent on gp are
+  // delivered at reverse_slot_[gp].
+  reverse_slot_.assign(num_dir_ports_, -1);
+  port_owner_.resize(num_dir_ports_);
+  {
+    std::vector<std::pair<int, int>> edge_ports(g.num_edges(), {-1, -1});
+    for (VertexId v = 0; v < n_; ++v) {
+      const auto eids = g.incident_edges(v);
+      for (int i = 0; i < static_cast<int>(eids.size()); ++i) {
+        const int gp = port_base_[v] + i;
+        port_owner_[gp] = v;
+        auto& [gp_u, gp_v] = edge_ports[eids[i]];
+        if (g.edge(eids[i]).u == v) {
+          gp_u = gp;
+        } else {
+          gp_v = gp;
+        }
+      }
+    }
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto [gp_u, gp_v] = edge_ports[e];
+      reverse_slot_[gp_u] = gp_v;
+      reverse_slot_[gp_v] = gp_u;
+    }
+  }
+
+  contexts_.resize(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    Context& ctx = contexts_[v];
+    ctx.id_ = v;
+    ctx.n_ = n_;
+    ctx.net_ = this;
+    ctx.base_ = port_base_[v];
+    ctx.neighbors_ = g.neighbors(v);
+  }
+
+  slot_cap_ = std::max(1, options_.bandwidth_tokens);
+  arena_mode_ =
+      options_.enforce_bandwidth &&
+      static_cast<std::int64_t>(num_dir_ports_) * slot_cap_ <= kMaxArenaSlots;
+  for (int b = 0; b < 2; ++b) {
+    if (arena_mode_) {
+      slab_[b].resize(static_cast<std::size_t>(num_dir_ports_) * slot_cap_);
+      counts_[b].assign(num_dir_ports_, 0);
+    } else {
+      boxes_[b].resize(num_dir_ports_);
+    }
+    mail_[b].assign(n_, 0);
+  }
+  finished_.assign(n_, 0);
+}
+
+PortInbox Context::inbox(int port) const {
+  assert(port >= 0 && port < num_ports());
+  const Network& net = *net_;
+  const int gp = base_ + port;
+  if (net.arena_mode_) {
+    return PortInbox(
+        net.slab_[net.in_].data() +
+            static_cast<std::size_t>(gp) * net.slot_cap_,
+        net.counts_[net.in_][gp]);
+  }
+  const auto& box = net.boxes_[net.in_][gp];
+  return PortInbox(box.data(), static_cast<int>(box.size()));
+}
+
+void Context::send(int port, Message message) {
+  // Validate before touching any network state: a bad port must leave the
+  // round's mailboxes exactly as they were.
+  if (port < 0 || port >= num_ports()) {
+    std::ostringstream os;
+    os << "Context::send: port " << port << " out of range for vertex " << id_
+       << " (" << num_ports() << " ports)";
+    throw std::out_of_range(os.str());
+  }
+  Network& net = *net_;
+  const int gp = base_ + port;
+  const int rs = net.reverse_slot_[gp];
+  const int out = 1 - net.in_;
+  const int queued = net.arena_mode_
+                         ? net.counts_[out][rs]
+                         : static_cast<int>(net.boxes_[out][rs].size());
+  if (net.options_.enforce_bandwidth) {
     if (message.size_words() > kMaxMessageWords) {
       CongestionError err(CongestionError::Kind::kMessageSize, round_, id_,
                           neighbors_[port], message.size_words(),
                           kMaxMessageWords);
-      if (options_->trace) options_->trace->on_violation(err);
+      if (net.options_.trace) net.options_.trace->on_violation(err);
       throw err;
     }
-    if (static_cast<int>(outbox_[port].size()) >= options_->bandwidth_tokens) {
+    if (queued >= net.options_.bandwidth_tokens) {
       CongestionError err(CongestionError::Kind::kBandwidth, round_, id_,
-                          neighbors_[port],
-                          static_cast<int>(outbox_[port].size()) + 1,
-                          options_->bandwidth_tokens);
-      if (options_->trace) options_->trace->on_violation(err);
+                          neighbors_[port], queued + 1,
+                          net.options_.bandwidth_tokens);
+      if (net.options_.trace) net.options_.trace->on_violation(err);
       throw err;
     }
   }
-  outbox_[port].push_back(std::move(message));
+  // Deposit directly into the receiver's slot for next round; delivery is
+  // then just the buffer swap.
+  if (queued == 0) net.active_[out].push_back(rs);
+  if (net.arena_mode_) {
+    net.slab_[out][static_cast<std::size_t>(rs) * net.slot_cap_ + queued] =
+        std::move(message);
+    net.counts_[out][rs] = queued + 1;
+  } else {
+    net.boxes_[out][rs].push_back(std::move(message));
+  }
 }
 
-Network::Network(const Graph& g, NetworkOptions options)
-    : g_(g), options_(options) {}
+void Network::reset_mailboxes() {
+  for (int b = 0; b < 2; ++b) {
+    for (const int gp : active_[b]) {
+      if (arena_mode_) {
+        counts_[b][gp] = 0;
+      } else {
+        boxes_[b][gp].clear();
+      }
+      mail_[b][port_owner_[gp]] = 0;
+    }
+    active_[b].clear();
+  }
+}
+
+void Network::retire_inbox_buffer() {
+  for (const int gp : active_[in_]) {
+    if (arena_mode_) {
+      counts_[in_][gp] = 0;
+    } else {
+      boxes_[in_][gp].clear();
+    }
+    mail_[in_][port_owner_[gp]] = 0;
+  }
+  active_[in_].clear();
+}
 
 RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
-  const int n = g_.num_vertices();
-  if (static_cast<int>(algorithms.size()) != n) {
+  if (static_cast<int>(algorithms.size()) != n_) {
     throw std::invalid_argument("need one algorithm per vertex");
   }
-  // Port map: for vertex v, port i corresponds to neighbor g.neighbors(v)[i].
-  // reverse_port[v][i] = the port index of v in that neighbor's list.
-  std::vector<std::vector<int>> reverse_port(n);
-  {
-    std::vector<int> cursor(n, 0);
-    // For edge e = {u, v}: u's port for e is its position in u's incident
-    // list, likewise for v; walk incident lists once to pair them up.
-    std::vector<std::pair<int, int>> edge_ports(g_.num_edges(), {-1, -1});
-    for (VertexId v = 0; v < n; ++v) {
-      const auto eids = g_.incident_edges(v);
-      reverse_port[v].assign(eids.size(), -1);
-      for (int i = 0; i < static_cast<int>(eids.size()); ++i) {
-        auto& [p_u, p_v] = edge_ports[eids[i]];
-        if (g_.edge(eids[i]).u == v) {
-          p_u = i;
-        } else {
-          p_v = i;
-        }
-      }
-    }
-    for (graph::EdgeId e = 0; e < g_.num_edges(); ++e) {
-      const auto [p_u, p_v] = edge_ports[e];
-      const graph::Edge ed = g_.edge(e);
-      reverse_port[ed.u][p_u] = p_v;
-      reverse_port[ed.v][p_v] = p_u;
-    }
-  }
-
-  std::vector<Context> contexts(n);
-  for (VertexId v = 0; v < n; ++v) {
-    Context& ctx = contexts[v];
-    ctx.id_ = v;
-    ctx.n_ = n;
-    ctx.options_ = &options_;
-    const auto nbrs = g_.neighbors(v);
-    ctx.neighbors_.assign(nbrs.begin(), nbrs.end());
-    ctx.inbox_.resize(nbrs.size());
-    ctx.outbox_.resize(nbrs.size());
-  }
-
+  reset_mailboxes();
   TraceSink* const trace = options_.trace;
-  if (trace) trace->on_run_begin(n, g_.num_edges(), options_);
+  if (trace) trace->on_run_begin(n_, g_.num_edges(), options_);
   RunStats stats;
+  int unfinished = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    finished_[v] = algorithms[v]->finished() ? 1 : 0;
+    if (!finished_[v]) ++unfinished;
+  }
   for (std::int64_t r = 0;; ++r) {
-    if (r > options_.max_rounds) {
-      throw std::runtime_error("network: max_rounds exceeded");
-    }
-    bool all_done = true;
-    for (VertexId v = 0; v < n; ++v) {
-      if (!algorithms[v]->finished()) {
-        all_done = false;
-        break;
-      }
-    }
-    if (all_done) {
+    if (unfinished == 0) {
       stats.rounds = r;
       if (trace) trace->on_run_end(stats);
       return stats;
     }
-    for (VertexId v = 0; v < n; ++v) {
-      contexts[v].round_ = r;
-      algorithms[v]->round(contexts[v]);
+    // Strict budget: at most max_rounds compute rounds ever execute.
+    if (r >= options_.max_rounds) {
+      throw std::runtime_error("network: max_rounds exceeded");
     }
-    // Deliver: move outboxes into the neighbors' inboxes.
-    for (VertexId v = 0; v < n; ++v) {
-      for (auto& box : contexts[v].inbox_) box.clear();
+    const int out = 1 - in_;
+    const std::vector<char>& mail_in = mail_[in_];
+    for (VertexId v = 0; v < n_; ++v) {
+      Context& ctx = contexts_[v];
+      ctx.round_ = r;
+      algorithms[v]->round(ctx);
+      if (!finished_[v] || mail_in[v]) {
+        const char f = algorithms[v]->finished() ? 1 : 0;
+        if (f != finished_[v]) {
+          finished_[v] = f;
+          unfinished += f ? -1 : 1;
+        }
+      } else {
+        // Quiescence contract (VertexAlgorithm::finished): a finished
+        // vertex that received no mail must stay finished.
+        assert(algorithms[v]->finished());
+      }
     }
+    // Deliver. Messages already sit in their receivers' slots; what remains
+    // is accounting over the ports that carried traffic, then the swap.
     std::int64_t round_messages = 0;
     std::int64_t round_words = 0;
     int round_max_load = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      Context& ctx = contexts[v];
-      for (int port = 0; port < ctx.num_ports(); ++port) {
-        auto& out = ctx.outbox_[port];
-        if (out.empty()) continue;
-        const int load = static_cast<int>(out.size());
-        stats.max_edge_load = std::max(stats.max_edge_load, load);
-        round_max_load = std::max(round_max_load, load);
-        const VertexId u = ctx.neighbors_[port];
-        const int back = reverse_port[v][port];
-        std::int64_t edge_words = 0;
-        for (Message& msg : out) {
-          const int w = msg.size_words();
-          stats.messages_sent += 1;
-          stats.words_sent += w;
-          edge_words += w;
-          if (trace) trace->on_message(r, msg.tag, w);
-          contexts[u].inbox_[back].push_back(std::move(msg));
+    if (trace) {
+      // Replay edges in sender (vertex, port) order — the order the
+      // pre-arena simulator emitted and trace fixtures were recorded in.
+      std::sort(active_[out].begin(), active_[out].end(),
+                [this](int a, int b) {
+                  return reverse_slot_[a] < reverse_slot_[b];
+                });
+    }
+    for (const int rs : active_[out]) {
+      const Message* msgs;
+      int cnt;
+      if (arena_mode_) {
+        msgs = slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
+        cnt = counts_[out][rs];
+      } else {
+        const auto& box = boxes_[out][rs];
+        msgs = box.data();
+        cnt = static_cast<int>(box.size());
+      }
+      std::int64_t edge_words = 0;
+      for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
+      stats.messages_sent += cnt;
+      stats.words_sent += edge_words;
+      round_messages += cnt;
+      round_words += edge_words;
+      round_max_load = std::max(round_max_load, cnt);
+      const VertexId to = port_owner_[rs];
+      mail_[out][to] = 1;
+      if (trace) {
+        for (int i = 0; i < cnt; ++i) {
+          trace->on_message(r, msgs[i].tag, msgs[i].size_words());
         }
-        if (trace) trace->on_edge_load(r, v, u, load, edge_words);
-        round_messages += load;
-        round_words += edge_words;
-        out.clear();
+        const VertexId from = contexts_[to].neighbors_[rs - port_base_[to]];
+        trace->on_edge_load(r, from, to, cnt, edge_words);
       }
     }
-    if (trace) trace->on_round_end(r, round_messages, round_words, round_max_load);
+    stats.max_edge_load = std::max(stats.max_edge_load, round_max_load);
+    if (trace) {
+      trace->on_round_end(r, round_messages, round_words, round_max_load);
+    }
+    retire_inbox_buffer();
+    in_ = out;
   }
 }
 

@@ -6,6 +6,14 @@
 // `bandwidth_tokens` messages of at most kMaxMessageWords words per
 // incident edge direction. Violations throw CongestionError — the test
 // suite uses this to prove the framework's algorithms really fit CONGEST.
+//
+// Performance contract (DESIGN.md "Simulator performance"): the steady
+// state of a run allocates nothing. Topology (the directed-port CSR and the
+// reverse-port map) is built once in the Network constructor and reused by
+// every run on that Network; mailboxes are two preallocated slot arenas
+// indexed by directed port that trade roles each round (a message is
+// written once, into its receiver's slot, and never moved); and termination
+// is an O(1) counter check, not a per-round scan.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +28,7 @@
 namespace ecd::congest {
 
 class TraceSink;  // src/congest/trace.h
+class Network;
 
 class CongestionError : public std::runtime_error {
  public:
@@ -51,7 +60,8 @@ class CongestionError : public std::runtime_error {
 struct NetworkOptions {
   // Messages allowed per directed edge per round.
   int bandwidth_tokens = 1;
-  // Hard stop; exceeding it throws (an algorithm failed to terminate).
+  // Hard stop: an algorithm that has not terminated after executing
+  // max_rounds compute rounds throws (it failed to terminate).
   std::int64_t max_rounds = 2'000'000;
   // When false, message sizes and token budgets are unbounded — the LOCAL
   // model. Used by baselines to exhibit the LOCAL–CONGEST gap.
@@ -71,22 +81,43 @@ struct RunStats {
   int max_edge_load = 0;
 };
 
+// Read-only view of the messages delivered on one port this round. Valid
+// only for the duration of the round() call that observed it: the backing
+// storage is recycled when the round ends.
+class PortInbox {
+ public:
+  PortInbox() = default;
+  PortInbox(const Message* data, int size) : data_(data), size_(size) {}
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Message& operator[](int i) const { return data_[i]; }
+  const Message* begin() const { return data_; }
+  const Message* end() const { return data_ + size_; }
+
+ private:
+  const Message* data_ = nullptr;
+  int size_ = 0;
+};
+
 // Per-vertex view of the network. Ports are indices into the vertex's
 // incident edge list, aligned with Graph::neighbors(v).
 class Context {
  public:
   graph::VertexId id() const { return id_; }
-  int num_ports() const { return static_cast<int>(inbox_.size()); }
+  int num_ports() const { return static_cast<int>(neighbors_.size()); }
   // CONGEST standard assumption: a vertex knows its neighbors' ids.
   graph::VertexId neighbor(int port) const { return neighbors_[port]; }
   std::int64_t round() const { return round_; }
   int num_network_vertices() const { return n_; }
 
-  // Messages delivered on `port` at the start of this round.
-  const std::vector<Message>& inbox(int port) const { return inbox_[port]; }
+  // Messages delivered on `port` at the start of this round, in the order
+  // the neighbor sent them (per-port FIFO).
+  PortInbox inbox(int port) const;
 
   // Queues a message on `port`; delivered next round. Throws
-  // CongestionError if the per-edge budget or message size is exceeded.
+  // CongestionError if the per-edge budget or message size is exceeded,
+  // std::out_of_range if `port` is not one of this vertex's ports.
   void send(int port, Message message);
 
  private:
@@ -94,10 +125,9 @@ class Context {
   graph::VertexId id_ = graph::kInvalidVertex;
   int n_ = 0;
   std::int64_t round_ = 0;
-  const NetworkOptions* options_ = nullptr;
-  std::vector<graph::VertexId> neighbors_;
-  std::vector<std::vector<Message>> inbox_;
-  std::vector<std::vector<Message>> outbox_;
+  Network* net_ = nullptr;
+  int base_ = 0;  // this vertex's first directed-port index (CSR offset)
+  std::span<const graph::VertexId> neighbors_;
 };
 
 class VertexAlgorithm {
@@ -107,11 +137,22 @@ class VertexAlgorithm {
   virtual void round(Context& ctx) = 0;
   // The network stops when every vertex reports finished. A finished vertex
   // keeps receiving rounds (messages may still arrive) but typically no-ops.
+  //
+  // Contract: finished() must be a pure function of this algorithm's own
+  // state, and a vertex that reported finished and then executes a round
+  // with no incoming messages must still report finished. The run loop
+  // maintains its termination counter from per-round transitions and only
+  // re-queries vertices that were unfinished or received mail; debug builds
+  // assert the quiescence half of the contract.
   virtual bool finished() const = 0;
 };
 
 class Network {
  public:
+  // Builds the directed-port topology (CSR offsets, reverse-port map) and
+  // the mailbox arenas once; run() reuses them, so invoking many runs on
+  // one Network — as the framework phases and the decomposition recursion
+  // do on a fixed graph — pays topology setup a single time.
   Network(const graph::Graph& g, NetworkOptions options = {});
 
   // Runs `algorithms` (one per vertex) to completion. Returns round and
@@ -121,8 +162,48 @@ class Network {
   const graph::Graph& graph() const { return g_; }
 
  private:
+  friend class Context;
+
+  // Clears any mailbox state left by a previous (possibly aborted) run.
+  void reset_mailboxes();
+  void retire_inbox_buffer();
+
   const graph::Graph& g_;
   NetworkOptions options_;
+  int n_ = 0;
+  int num_dir_ports_ = 0;  // 2m: one slot group per directed edge
+
+  // Cached topology. Directed port gp = port_base_[v] + p identifies
+  // (vertex v, local port p); reverse_slot_[gp] is the directed port of the
+  // same edge seen from the other endpoint — where messages sent on gp are
+  // delivered. port_peer_[gp] is the neighbor on that port.
+  std::vector<int> port_base_;         // size n+1 (CSR offsets)
+  std::vector<int> reverse_slot_;      // size 2m
+  std::vector<graph::VertexId> port_owner_;  // size 2m: vertex owning gp
+  std::vector<Context> contexts_;      // wired once, reused across runs
+
+  // Double-buffered mailboxes: buffer in_ is this round's inbox, 1 - in_
+  // collects sends for the next round; ending a round swaps the roles.
+  // With bandwidth enforcement on, messages live in a contiguous slot
+  // arena (slot_cap_ slots per directed port — sends beyond that throw
+  // before touching memory). The LOCAL model (enforcement off) has no slot
+  // bound, so it falls back to per-port vectors; so does an enforced
+  // network whose arena would be unreasonably large.
+  bool arena_mode_ = true;
+  int slot_cap_ = 1;
+  std::vector<Message> slab_[2];                // arena: 2m * slot_cap_
+  std::vector<int> counts_[2];                  // arena: messages per port
+  std::vector<std::vector<Message>> boxes_[2];  // fallback: per-port boxes
+  // Directed ports holding at least one message in each buffer — bounds
+  // per-round cleanup and stats to the traffic that actually happened.
+  std::vector<int> active_[2];
+  // Per-vertex flag: buffer b delivers at least one message to the vertex.
+  std::vector<char> mail_[2];
+  int in_ = 0;
+
+  // Per-vertex cache of finished() plus the count of unfinished vertices,
+  // maintained from transitions so the stop check is O(1).
+  std::vector<char> finished_;
 };
 
 }  // namespace ecd::congest

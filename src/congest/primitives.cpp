@@ -299,7 +299,7 @@ class TreeClimbAlgo final : public VertexAlgorithm {
     started_ = true;
     sent_ = false;
     for (int p = 0; p < ctx.num_ports(); ++p) {
-      for (const Message& m : ctx.inbox(p)) held_.push_back(m.words);
+      for (const Message& m : ctx.inbox(p)) held_.push_back(m.words.to_vector());
     }
     if (is_leader_) {
       for (auto& t : held_) absorbed_.push_back(std::move(t));

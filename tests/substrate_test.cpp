@@ -1,0 +1,358 @@
+// Substrate-level tests for the mailbox arena (src/congest/network.cpp):
+// per-port FIFO order, double-buffer isolation between rounds, WordBuffer
+// spill behaviour, send-side validation, the max_rounds budget, and a parity
+// fixture pinning trace/RunStats output to numbers recorded on the
+// pre-arena simulator.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "src/congest/network.h"
+#include "src/congest/primitives.h"
+#include "src/congest/trace.h"
+#include "src/graph/generators.h"
+
+namespace ecd::congest {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+// --- Per-port FIFO ---------------------------------------------------------
+
+// Sends a burst of three sequence-numbered messages per round for three
+// rounds; the receiver must observe them in exactly send order.
+class BurstSender final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    if (ctx.round() < 3) {
+      for (std::int64_t i = 0; i < 3; ++i) {
+        ctx.send(0, {{ctx.round() * 10 + i}});
+      }
+    } else {
+      done_ = true;
+    }
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+class FifoReceiver final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    for (const Message& m : ctx.inbox(0)) seen_.push_back(m.words[0]);
+  }
+  bool finished() const override { return seen_.size() == 9u; }
+  const std::vector<std::int64_t>& seen() const { return seen_; }
+
+ private:
+  std::vector<std::int64_t> seen_;
+};
+
+TEST(Substrate, PerPortDeliveryIsFifo) {
+  Graph g = graph::path(2);
+  auto sender = std::make_unique<BurstSender>();
+  auto receiver = std::make_unique<FifoReceiver>();
+  FifoReceiver* typed = receiver.get();
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::move(sender));
+  algos.push_back(std::move(receiver));
+  NetworkOptions opt;
+  opt.bandwidth_tokens = 3;
+  Network net(g, opt);
+  net.run(algos);
+  const std::vector<std::int64_t> expected{0, 1, 2, 10, 11, 12, 20, 21, 22};
+  EXPECT_EQ(typed->seen(), expected);
+}
+
+// --- Double-buffer isolation -----------------------------------------------
+
+// Sends {round} before reading, then asserts this round's inbox holds
+// exactly the previous round's value — a send during round r must never
+// alias the round-r inbox (the two arena buffers back different rounds).
+class SendThenReadAlgo final : public VertexAlgorithm {
+ public:
+  static constexpr std::int64_t kRounds = 5;
+
+  void round(Context& ctx) override {
+    if (ctx.round() < kRounds) ctx.send(0, {{ctx.round()}});
+    const PortInbox box = ctx.inbox(0);
+    if (ctx.round() == 0) {
+      EXPECT_TRUE(box.empty());
+    } else {
+      ASSERT_EQ(box.size(), 1);
+      EXPECT_EQ(box[0].words[0], ctx.round() - 1);
+    }
+    if (ctx.round() == kRounds) done_ = true;
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+void run_send_then_read(const NetworkOptions& opt) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<SendThenReadAlgo>());
+  algos.push_back(std::make_unique<SendThenReadAlgo>());
+  Network net(g, opt);
+  const RunStats stats = net.run(algos);
+  EXPECT_EQ(stats.rounds, SendThenReadAlgo::kRounds + 1);
+  EXPECT_EQ(stats.messages_sent, 2 * SendThenReadAlgo::kRounds);
+}
+
+TEST(Substrate, RoundBuffersDoNotAliasInArenaMode) {
+  run_send_then_read({});
+}
+
+TEST(Substrate, RoundBuffersDoNotAliasInLocalMode) {
+  NetworkOptions opt;
+  opt.enforce_bandwidth = false;  // per-port vector fallback path
+  run_send_then_read(opt);
+}
+
+// A Network is reusable: a second run on the same instance must start from
+// clean mailboxes, not see leftovers of the first.
+TEST(Substrate, NetworkReuseStartsFromCleanMailboxes) {
+  Graph g = graph::path(2);
+  Network net(g);
+  for (int i = 0; i < 2; ++i) {
+    std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+    algos.push_back(std::make_unique<SendThenReadAlgo>());
+    algos.push_back(std::make_unique<SendThenReadAlgo>());
+    EXPECT_EQ(net.run(algos).rounds, SendThenReadAlgo::kRounds + 1);
+  }
+}
+
+// --- WordBuffer spill + message-size enforcement ---------------------------
+
+TEST(Substrate, WordBufferSpillsBeyondInlineCapacity) {
+  WordBuffer buf;
+  for (std::int64_t i = 0; i < 2 * kMaxMessageWords; ++i) buf.push_back(i);
+  ASSERT_EQ(buf.size(), 2 * kMaxMessageWords);
+  for (int i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], i);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  buf.push_back(42);  // back to inline storage after clear()
+  ASSERT_EQ(buf.size(), 1);
+  EXPECT_EQ(buf[0], 42);
+}
+
+class SpilledMessageAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    Message m;
+    for (int i = 0; i < kMaxMessageWords + 3; ++i) m.words.push_back(i);
+    ctx.send(0, std::move(m));
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Substrate, SpilledMessageStillRaisesMessageSizeViolation) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<SpilledMessageAlgo>());
+  algos.push_back(std::make_unique<SpilledMessageAlgo>());
+  Network net(g);
+  try {
+    net.run(algos);
+    FAIL() << "oversized message was accepted";
+  } catch (const CongestionError& e) {
+    EXPECT_EQ(e.kind(), CongestionError::Kind::kMessageSize);
+    EXPECT_EQ(e.used(), kMaxMessageWords + 3);
+    EXPECT_EQ(e.budget(), kMaxMessageWords);
+  }
+}
+
+// --- send() validation -----------------------------------------------------
+
+class BadPortAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    ctx.send(ctx.num_ports(), {{1}});
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Substrate, SendOnBadPortNamesVertexAndPortCount) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<BadPortAlgo>());
+  algos.push_back(std::make_unique<BadPortAlgo>());
+  Network net(g);
+  try {
+    net.run(algos);
+    FAIL() << "out-of-range port was accepted";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("port 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("vertex 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 ports"), std::string::npos) << what;
+  }
+}
+
+// --- max_rounds budget -----------------------------------------------------
+
+class NeverDoneAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    ++rounds_seen;
+    ctx.send(0, {{1}});
+  }
+  bool finished() const override { return false; }
+  int rounds_seen = 0;
+};
+
+TEST(Substrate, MaxRoundsExecutesExactlyThatManyComputeRounds) {
+  Graph g = graph::path(2);
+  auto a = std::make_unique<NeverDoneAlgo>();
+  auto b = std::make_unique<NeverDoneAlgo>();
+  NeverDoneAlgo* ta = a.get();
+  NeverDoneAlgo* tb = b.get();
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::move(a));
+  algos.push_back(std::move(b));
+  NetworkOptions opt;
+  opt.max_rounds = 7;
+  Network net(g, opt);
+  EXPECT_THROW(net.run(algos), std::runtime_error);
+  // The budget is exact: max_rounds compute rounds, not max_rounds + 1.
+  EXPECT_EQ(ta->rounds_seen, 7);
+  EXPECT_EQ(tb->rounds_seen, 7);
+}
+
+class FinishAfterAlgo final : public VertexAlgorithm {
+ public:
+  explicit FinishAfterAlgo(int target) : target_(target) {}
+  void round(Context&) override { ++seen_; }
+  bool finished() const override { return seen_ >= target_; }
+
+ private:
+  int target_;
+  int seen_ = 0;
+};
+
+TEST(Substrate, FinishingAtTheRoundLimitStillCompletes) {
+  Graph g = graph::path(2);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<FinishAfterAlgo>(7));
+  algos.push_back(std::make_unique<FinishAfterAlgo>(7));
+  NetworkOptions opt;
+  opt.max_rounds = 7;
+  Network net(g, opt);
+  EXPECT_EQ(net.run(algos).rounds, 7);
+}
+
+// --- Parity fixture --------------------------------------------------------
+
+void expect_stats(const RunStats& s, std::int64_t rounds, std::int64_t msgs,
+                  std::int64_t words, int max_load) {
+  EXPECT_EQ(s.rounds, rounds);
+  EXPECT_EQ(s.messages_sent, msgs);
+  EXPECT_EQ(s.words_sent, words);
+  EXPECT_EQ(s.max_edge_load, max_load);
+}
+
+void expect_tag(const MetricsCollector& mc, int tag, std::int64_t msgs,
+                std::int64_t words) {
+  ASSERT_TRUE(mc.tag_stats().count(tag)) << "tag " << tag;
+  EXPECT_EQ(mc.tag_stats().at(tag).messages, msgs) << "tag " << tag;
+  EXPECT_EQ(mc.tag_stats().at(tag).words, words) << "tag " << tag;
+}
+
+// Every number below was recorded by running this exact workload on the
+// pre-arena simulator (per-vertex vector mailboxes, commit 85a25a5). The
+// arena rewrite must reproduce RunStats and every trace aggregate exactly.
+TEST(SubstrateParity, TraceAndStatsMatchPreArenaRecording) {
+  graph::Rng rng(77);
+  const Graph g = graph::random_maximal_planar(64, rng);
+  std::vector<int> cluster(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    cluster[v] = v % 3 == 0 ? 0 : 1;
+  }
+  MetricsCollector mc;
+  NetworkOptions net;
+  net.trace = &mc;
+
+  const auto leaders = elect_cluster_leaders(g, cluster, net);
+  expect_stats(leaders.stats, 4, 542, 1084, 1);
+
+  const auto tree = build_cluster_bfs_trees(g, cluster, leaders.leader_of, net);
+  expect_stats(tree.stats, 4, 258, 258, 1);
+
+  const auto orient = orient_cluster_edges(g, cluster, 5, net);
+  expect_stats(orient.stats, 4, 181, 181, 1);
+
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tokens[v].push_back({v, {v, 100 + v}});
+  }
+  GatherOptions gopt;
+  gopt.seed = 1234;
+  gopt.net = net;
+  gopt.net.bandwidth_tokens = 4;
+  const auto gather =
+      random_walk_gather(g, cluster, leaders.leader_of, tokens, gopt);
+  expect_stats(gather.stats, 134, 575, 1725, 2);
+  EXPECT_TRUE(gather.complete);
+
+  const auto tg =
+      tree_gather(g, cluster, leaders.leader_of, tree.parent, tokens, net);
+  expect_stats(tg.stats, 7, 77, 154, 1);
+
+  std::vector<std::int64_t> values(g.num_vertices(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) values[v] = v;
+  const auto cc = convergecast_fold(g, cluster, leaders.leader_of, tree.parent,
+                                    tree.depth, values, Fold::kSum, net);
+  expect_stats(cc.stats, 4, 114, 171, 1);
+
+  std::vector<std::int64_t> leader_values(g.num_vertices(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (leaders.leader_of[v] == v) leader_values[v] = 5000 + v;
+  }
+  const auto bc =
+      broadcast_from_leaders(g, cluster, leaders.leader_of, leader_values, net);
+  expect_stats(bc.stats, 4, 258, 258, 1);
+
+  const auto dc = check_cluster_diameter(g, cluster, 8, net);
+  expect_stats(dc.stats, 27, 6966, 6966, 1);
+
+  expect_stats(mc.totals(), 188, 8971, 10797, 2);
+  EXPECT_EQ(mc.runs_observed(), 8);
+  EXPECT_EQ(mc.rounds().size(), 188u);
+
+  expect_tag(mc, kTagElection, 542, 1084);
+  expect_tag(mc, kTagBfs, 258, 258);
+  expect_tag(mc, kTagOrientation, 181, 181);
+  expect_tag(mc, kTagWalkToken, 575, 1725);
+  expect_tag(mc, kTagBroadcast, 258, 258);
+  expect_tag(mc, kTagConvergecast, 114, 171);
+  expect_tag(mc, kTagDiameter, 6966, 6966);
+  expect_tag(mc, kTagTreeToken, 77, 154);
+
+  std::int64_t edge_messages = 0;
+  int peak = 0;
+  const auto edges = mc.top_edges(-1);
+  for (const auto& e : edges) {
+    edge_messages += e.messages;
+    peak = std::max(peak, e.peak_load);
+  }
+  EXPECT_EQ(edge_messages, 8971);
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(edges.size(), 258u);
+}
+
+}  // namespace
+}  // namespace ecd::congest
