@@ -12,6 +12,12 @@
 //   tree       convergecast-style: one token per vertex climbs a BFS tree at
 //              bandwidth 4 — the gather traffic pattern of Theorem 2.6.
 //
+// Every workload takes a trailing `threads` axis (NetworkOptions::
+// num_threads); rows at threads > 1 measure the sharded parallel round
+// loop (DESIGN.md §11) against the serial baseline on the same graph, and
+// allocs_per_round must stay ~0 either way (per-shard scratch is
+// preallocated in the Network constructor).
+//
 // Counters:
 //   rounds_per_sec     simulated rounds per wall-clock second
 //   messages_per_sec   delivered messages per wall-clock second
@@ -202,6 +208,7 @@ void run_substrate_bench(benchmark::State& state, const graph::Graph& g,
   }
   state.counters["n"] = g.num_vertices();
   state.counters["m"] = g.num_edges();
+  state.counters["threads"] = opt.num_threads;
   state.counters["rounds_per_sec"] = benchmark::Counter(
       static_cast<double>(total_rounds), benchmark::Counter::kIsRate);
   state.counters["messages_per_sec"] = benchmark::Counter(
@@ -211,7 +218,9 @@ void run_substrate_bench(benchmark::State& state, const graph::Graph& g,
 
 void BM_Flood(benchmark::State& state) {
   const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
-  run_substrate_bench(state, g, {}, [&] {
+  NetworkOptions opt;
+  opt.num_threads = static_cast<int>(state.range(1));
+  run_substrate_bench(state, g, opt, [&] {
     std::vector<std::unique_ptr<VertexAlgorithm>> algos;
     algos.reserve(g.num_vertices());
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -224,7 +233,9 @@ void BM_Flood(benchmark::State& state) {
 void BM_PingPong(benchmark::State& state) {
   const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
   const int rounds = static_cast<int>(state.range(1));
-  run_substrate_bench(state, g, {}, [&] {
+  NetworkOptions opt;
+  opt.num_threads = static_cast<int>(state.range(2));
+  run_substrate_bench(state, g, opt, [&] {
     std::vector<std::unique_ptr<VertexAlgorithm>> algos;
     algos.reserve(g.num_vertices());
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -239,6 +250,7 @@ void BM_TreeClimb(benchmark::State& state) {
   const std::vector<int> parent_port = bfs_parent_ports(g);
   NetworkOptions opt;
   opt.bandwidth_tokens = 4;
+  opt.num_threads = static_cast<int>(state.range(1));
   run_substrate_bench(state, g, opt, [&] {
     std::vector<std::unique_ptr<VertexAlgorithm>> algos;
     algos.reserve(g.num_vertices());
@@ -250,20 +262,42 @@ void BM_TreeClimb(benchmark::State& state) {
   });
 }
 
+// The n sweep stays single-threaded (the serial baseline every other
+// experiment rides on); the threads sweep runs at the largest n, where
+// per-round work amortizes the barrier, plus one small-n row the CI smoke
+// exercises at 4 threads.
 BENCHMARK(BM_Flood)
-    ->Arg(1024)
-    ->Arg(10240)
-    ->Arg(102400)
+    ->ArgNames({"n", "threads"})
+    ->Args({1024, 1})
+    ->Args({10240, 1})
+    ->Args({102400, 1})
+    ->Args({1024, 4})
+    ->Args({102400, 2})
+    ->Args({102400, 4})
+    ->Args({102400, 8})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PingPong)
-    ->Args({1024, 64})
-    ->Args({10240, 64})
-    ->Args({102400, 16})
+    ->ArgNames({"n", "rounds", "threads"})
+    ->Args({1024, 64, 1})
+    ->Args({10240, 64, 1})
+    ->Args({102400, 16, 1})
+    ->Args({1024, 64, 4})
+    ->Args({102400, 16, 2})
+    ->Args({102400, 16, 4})
+    ->Args({102400, 16, 8})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TreeClimb)
-    ->Arg(1024)
-    ->Arg(10240)
-    ->Arg(102400)
+    ->ArgNames({"n", "threads"})
+    ->Args({1024, 1})
+    ->Args({10240, 1})
+    ->Args({102400, 1})
+    ->Args({1024, 4})
+    ->Args({102400, 2})
+    ->Args({102400, 4})
+    ->Args({102400, 8})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -96,6 +96,45 @@ Network::Network(const Graph& g, NetworkOptions options)
     ctx.neighbors_ = g.neighbors(v);
   }
 
+  // Static vertex sharding (DESIGN.md §11). Traced runs are pinned to the
+  // serial path: the delivery phase would otherwise interleave per-event
+  // sink calls across shards and break byte-identical trace fixtures.
+  num_shards_ = options_.trace ? 1 : ThreadPool::resolve(options_.num_threads);
+  num_shards_ = std::min(num_shards_, std::max(1, n_));
+  shard_begin_.assign(num_shards_ + 1, 0);
+  {
+    // Degree-weighted contiguous ranges: shard boundaries are placed on the
+    // cumulative (degree + 1) prefix — ports dominate per-round work, the
+    // +1 spreads low-degree vertices too.
+    const std::int64_t total_weight = num_dir_ports_ + n_;
+    VertexId v = 0;
+    std::int64_t acc = 0;
+    for (int s = 0; s < num_shards_; ++s) {
+      shard_begin_[s] = v;
+      const std::int64_t target = total_weight * (s + 1) / num_shards_;
+      while (v < n_ && acc < target) {
+        acc += g.degree(v) + 1;
+        ++v;
+      }
+    }
+    shard_begin_[num_shards_] = n_;
+  }
+  send_bucket_.resize(num_dir_ports_);
+  {
+    std::vector<std::int32_t> vertex_shard(n_);
+    for (int s = 0; s < num_shards_; ++s) {
+      for (VertexId v = shard_begin_[s]; v < shard_begin_[s + 1]; ++v) {
+        vertex_shard[v] = s;
+      }
+    }
+    for (int gp = 0; gp < num_dir_ports_; ++gp) {
+      send_bucket_[gp] = vertex_shard[port_owner_[gp]] * num_shards_ +
+                         vertex_shard[port_owner_[reverse_slot_[gp]]];
+    }
+  }
+  if (num_shards_ > 1) pool_ = std::make_unique<ThreadPool>(num_shards_);
+  shard_accum_.resize(num_shards_);
+
   slot_cap_ = std::max(1, options_.bandwidth_tokens);
   arena_mode_ =
       options_.enforce_bandwidth &&
@@ -109,6 +148,21 @@ Network::Network(const Graph& g, NetworkOptions options)
     }
     mail_[b].assign(n_, 0);
   }
+  // A bucket gains at most one entry per receiver port it can be chosen
+  // for, so reserving the exact port count per bucket makes steady-state
+  // appends allocation-free.
+  {
+    std::vector<int> bucket_cap(
+        static_cast<std::size_t>(num_shards_) * num_shards_, 0);
+    for (int gp = 0; gp < num_dir_ports_; ++gp) ++bucket_cap[send_bucket_[gp]];
+    for (int b = 0; b < 2; ++b) {
+      active_[b].resize(bucket_cap.size());
+      for (std::size_t i = 0; i < bucket_cap.size(); ++i) {
+        active_[b][i].reserve(bucket_cap[i]);
+      }
+    }
+  }
+  if (options_.trace) trace_order_.reserve(num_dir_ports_);
   finished_.assign(n_, 0);
 }
 
@@ -159,8 +213,10 @@ void Context::send(int port, Message message) {
     }
   }
   // Deposit directly into the receiver's slot for next round; delivery is
-  // then just the buffer swap.
-  if (queued == 0) net.active_[out].push_back(rs);
+  // then just the buffer swap. The slot group rs and the active bucket are
+  // both written by this vertex alone (one sender per edge direction, one
+  // shard per sender), which is what makes the compute phase race-free.
+  if (queued == 0) net.active_[out][net.send_bucket_[gp]].push_back(rs);
   if (net.arena_mode_) {
     net.slab_[out][static_cast<std::size_t>(rs) * net.slot_cap_ + queued] =
         std::move(message);
@@ -172,28 +228,32 @@ void Context::send(int port, Message message) {
 
 void Network::reset_mailboxes() {
   for (int b = 0; b < 2; ++b) {
-    for (const int gp : active_[b]) {
-      if (arena_mode_) {
-        counts_[b][gp] = 0;
-      } else {
-        boxes_[b][gp].clear();
+    for (std::vector<int>& bucket : active_[b]) {
+      for (const int gp : bucket) {
+        if (arena_mode_) {
+          counts_[b][gp] = 0;
+        } else {
+          boxes_[b][gp].clear();
+        }
+        mail_[b][port_owner_[gp]] = 0;
       }
-      mail_[b][port_owner_[gp]] = 0;
+      bucket.clear();
     }
-    active_[b].clear();
   }
 }
 
 void Network::retire_inbox_buffer() {
-  for (const int gp : active_[in_]) {
-    if (arena_mode_) {
-      counts_[in_][gp] = 0;
-    } else {
-      boxes_[in_][gp].clear();
+  for (std::vector<int>& bucket : active_[in_]) {
+    for (const int gp : bucket) {
+      if (arena_mode_) {
+        counts_[in_][gp] = 0;
+      } else {
+        boxes_[in_][gp].clear();
+      }
+      mail_[in_][port_owner_[gp]] = 0;
     }
-    mail_[in_][port_owner_[gp]] = 0;
+    bucket.clear();
   }
-  active_[in_].clear();
 }
 
 RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
@@ -201,6 +261,11 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
     throw std::invalid_argument("need one algorithm per vertex");
   }
   reset_mailboxes();
+  return num_shards_ == 1 ? run_serial(algorithms) : run_parallel(algorithms);
+}
+
+RunStats Network::run_serial(
+    std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
   TraceSink* const trace = options_.trace;
   if (trace) trace->on_run_begin(n_, g_.num_edges(), options_);
   RunStats stats;
@@ -242,15 +307,7 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
     std::int64_t round_messages = 0;
     std::int64_t round_words = 0;
     int round_max_load = 0;
-    if (trace) {
-      // Replay edges in sender (vertex, port) order — the order the
-      // pre-arena simulator emitted and trace fixtures were recorded in.
-      std::sort(active_[out].begin(), active_[out].end(),
-                [this](int a, int b) {
-                  return reverse_slot_[a] < reverse_slot_[b];
-                });
-    }
-    for (const int rs : active_[out]) {
+    const auto account = [&](int rs) {
       const Message* msgs;
       int cnt;
       if (arena_mode_) {
@@ -277,12 +334,141 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
         const VertexId from = contexts_[to].neighbors_[rs - port_base_[to]];
         trace->on_edge_load(r, from, to, cnt, edge_words);
       }
+    };
+    if (trace) {
+      // Replay edges in sender (vertex, port) order — the order the
+      // pre-arena simulator emitted and trace fixtures were recorded in.
+      // The sort key is the sender's global port, packed above the
+      // receiver port so a plain integer sort (no comparator indirection)
+      // yields the replay order directly.
+      trace_order_.clear();
+      for (const std::vector<int>& bucket : active_[out]) {
+        for (const int rs : bucket) {
+          trace_order_.push_back(
+              (static_cast<std::uint64_t>(reverse_slot_[rs]) << 32) |
+              static_cast<std::uint32_t>(rs));
+        }
+      }
+      std::sort(trace_order_.begin(), trace_order_.end());
+      for (const std::uint64_t key : trace_order_) {
+        account(static_cast<int>(key & 0xffffffffu));
+      }
+    } else {
+      for (const std::vector<int>& bucket : active_[out]) {
+        for (const int rs : bucket) account(rs);
+      }
     }
     stats.max_edge_load = std::max(stats.max_edge_load, round_max_load);
     if (trace) {
       trace->on_round_end(r, round_messages, round_words, round_max_load);
     }
     retire_inbox_buffer();
+    in_ = out;
+  }
+}
+
+void Network::compute_shard(
+    int s, std::int64_t r,
+    std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
+  ShardAccum& acc = shard_accum_[s];
+  acc.unfinished_delta = 0;
+  const std::vector<char>& mail_in = mail_[in_];
+  const VertexId end = shard_begin_[s + 1];
+  for (VertexId v = shard_begin_[s]; v < end; ++v) {
+    Context& ctx = contexts_[v];
+    ctx.round_ = r;
+    algorithms[v]->round(ctx);
+    if (!finished_[v] || mail_in[v]) {
+      const char f = algorithms[v]->finished() ? 1 : 0;
+      if (f != finished_[v]) {
+        finished_[v] = f;
+        acc.unfinished_delta += f ? -1 : 1;
+      }
+    } else {
+      // Quiescence contract (VertexAlgorithm::finished): a finished vertex
+      // that received no mail must stay finished.
+      assert(algorithms[v]->finished());
+    }
+  }
+}
+
+void Network::deliver_shard(int t, int out) {
+  ShardAccum& acc = shard_accum_[t];
+  acc.messages = 0;
+  acc.words = 0;
+  acc.max_load = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    for (const int rs : active_[out][s * num_shards_ + t]) {
+      std::int64_t edge_words = 0;
+      int cnt;
+      if (arena_mode_) {
+        const Message* msgs =
+            slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
+        cnt = counts_[out][rs];
+        for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
+      } else {
+        const auto& box = boxes_[out][rs];
+        cnt = static_cast<int>(box.size());
+        for (int i = 0; i < cnt; ++i) edge_words += box[i].size_words();
+      }
+      acc.messages += cnt;
+      acc.words += edge_words;
+      acc.max_load = std::max(acc.max_load, cnt);
+      mail_[out][port_owner_[rs]] = 1;
+    }
+  }
+  // Retire shard t's ports of the vacated buffer: this round's inboxes have
+  // been read by the compute phase and the buffer becomes next round's
+  // outbox. Buckets (·, t) are touched by worker t alone in this phase.
+  for (int s = 0; s < num_shards_; ++s) {
+    std::vector<int>& bucket = active_[in_][s * num_shards_ + t];
+    for (const int rs : bucket) {
+      if (arena_mode_) {
+        counts_[in_][rs] = 0;
+      } else {
+        boxes_[in_][rs].clear();
+      }
+      mail_[in_][port_owner_[rs]] = 0;
+    }
+    bucket.clear();
+  }
+}
+
+RunStats Network::run_parallel(
+    std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
+  RunStats stats;
+  int unfinished = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    finished_[v] = algorithms[v]->finished() ? 1 : 0;
+    if (!finished_[v]) ++unfinished;
+  }
+  for (std::int64_t r = 0;; ++r) {
+    if (unfinished == 0) {
+      stats.rounds = r;
+      return stats;
+    }
+    if (r >= options_.max_rounds) {
+      throw std::runtime_error("network: max_rounds exceeded");
+    }
+    const int out = 1 - in_;
+    // Phase one: step every shard's vertices. Deposits land in disjoint
+    // slot groups and single-writer active buckets, so the only shared
+    // writes are each shard's own finished_ range and accumulator. An
+    // exception (CongestionError, bad port) quiesces at the pool barrier
+    // and rethrows here; reset_mailboxes() on the next run() clears the
+    // partial round, so the Network stays reusable.
+    pool_->run([&](int s) { compute_shard(s, r, algorithms); });
+    // Phase two: per receiving shard, account the traffic and retire the
+    // vacated buffer's ports.
+    pool_->run([&](int t) { deliver_shard(t, out); });
+    int round_max_load = 0;
+    for (const ShardAccum& acc : shard_accum_) {
+      stats.messages_sent += acc.messages;
+      stats.words_sent += acc.words;
+      round_max_load = std::max(round_max_load, acc.max_load);
+      unfinished += acc.unfinished_delta;
+    }
+    stats.max_edge_load = std::max(stats.max_edge_load, round_max_load);
     in_ = out;
   }
 }

@@ -13,7 +13,10 @@
 // every run on that Network; mailboxes are two preallocated slot arenas
 // indexed by directed port that trade roles each round (a message is
 // written once, into its receiver's slot, and never moved); and termination
-// is an O(1) counter check, not a per-round scan.
+// is an O(1) counter check, not a per-round scan. With
+// NetworkOptions::num_threads != 1 the round loop additionally runs
+// bulk-synchronous-parallel over contiguous vertex shards (DESIGN.md §11);
+// results are bit-identical to the serial path for every thread count.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "src/congest/message.h"
+#include "src/congest/thread_pool.h"
 #include "src/graph/graph.h"
 
 namespace ecd::congest {
@@ -70,14 +74,23 @@ struct NetworkOptions {
   // default: the run loop takes no virtual calls and behaves exactly as
   // before.
   TraceSink* trace = nullptr;
+  // Threads stepping vertices each round (DESIGN.md §11). 1 (the default)
+  // is the serial path; 0 resolves to std::thread::hardware_concurrency();
+  // k > 1 shards vertices across k workers. Results — RunStats and every
+  // vertex's final state — are bit-identical for every value. Traced runs
+  // (trace != nullptr) always execute serially so per-event trace order,
+  // and the recorded trace fixtures, stay byte-identical.
+  int num_threads = 1;
 };
 
 struct RunStats {
   std::int64_t rounds = 0;
   std::int64_t messages_sent = 0;
   std::int64_t words_sent = 0;
-  // Highest number of messages a single directed edge carried in one round
-  // (== bandwidth_tokens unless enforcement is off).
+  // Highest number of messages a single directed edge carried in one round.
+  // At most bandwidth_tokens when enforcement is on (a vertex may send
+  // fewer tokens than its budget, so equality is not guaranteed);
+  // unbounded when enforcement is off.
   int max_edge_load = 0;
 };
 
@@ -167,6 +180,16 @@ class Network {
   // Clears any mailbox state left by a previous (possibly aborted) run.
   void reset_mailboxes();
   void retire_inbox_buffer();
+  RunStats run_serial(std::vector<std::unique_ptr<VertexAlgorithm>>& algos);
+  RunStats run_parallel(std::vector<std::unique_ptr<VertexAlgorithm>>& algos);
+  // Parallel round, phase one: steps every vertex of shard s for round r
+  // and records finished() transitions in the shard's accumulator.
+  void compute_shard(int s, std::int64_t r,
+                     std::vector<std::unique_ptr<VertexAlgorithm>>& algos);
+  // Parallel round, phase two (after the barrier): accounts buffer `out`
+  // traffic delivered to shard t's vertices and retires shard t's ports of
+  // the buffer being vacated (this round's inboxes, next round's outboxes).
+  void deliver_shard(int t, int out);
 
   const graph::Graph& g_;
   NetworkOptions options_;
@@ -194,9 +217,43 @@ class Network {
   std::vector<Message> slab_[2];                // arena: 2m * slot_cap_
   std::vector<int> counts_[2];                  // arena: messages per port
   std::vector<std::vector<Message>> boxes_[2];  // fallback: per-port boxes
+
+  // Parallel execution (DESIGN.md §11). Vertices are statically sharded
+  // into num_shards_ contiguous, degree-weighted ranges (shard_begin_ is a
+  // CSR of size num_shards_ + 1); num_shards_ == 1 is the serial path.
+  // send_bucket_[gp] is the precomputed active-bucket index for a deposit
+  // made on gp: sender_shard(gp) * num_shards_ + receiver_shard(gp).
+  int num_shards_ = 1;
+  std::vector<graph::VertexId> shard_begin_;
+  std::vector<std::int32_t> send_bucket_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_shards_ == 1
+
   // Directed ports holding at least one message in each buffer — bounds
   // per-round cleanup and stats to the traffic that actually happened.
-  std::vector<int> active_[2];
+  // num_shards_^2 buckets per buffer: bucket s*num_shards_+t holds the
+  // receiver ports that sender shard s filled on receiver shard t, so the
+  // compute phase appends single-writer (only worker s touches row s) and
+  // the delivery phase reads single-reader (only worker t scans column t).
+  // Each bucket is reserved to its exact port-count ceiling up front, so
+  // steady-state appends never allocate.
+  std::vector<std::vector<int>> active_[2];
+
+  // Per-shard phase outputs, reduced on the caller thread at the round
+  // barrier; padded so workers never share a cache line.
+  struct alignas(64) ShardAccum {
+    std::int64_t messages = 0;
+    std::int64_t words = 0;
+    int max_load = 0;
+    int unfinished_delta = 0;
+  };
+  std::vector<ShardAccum> shard_accum_;
+
+  // Traced delivery replays ports in sender order; entries pack
+  // (sender port << 32) | receiver port so the per-round sort is a plain
+  // integer sort with no comparator indirection. Reserved up front (only
+  // when a trace is attached).
+  std::vector<std::uint64_t> trace_order_;
+
   // Per-vertex flag: buffer b delivers at least one message to the vertex.
   std::vector<char> mail_[2];
   int in_ = 0;

@@ -1,0 +1,88 @@
+#include "src/congest/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ecd::congest {
+
+int ThreadPool::resolve(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)), errors_(num_threads_) {
+  workers_.reserve(num_threads_ - 1);
+  for (int shard = 1; shard < num_threads_; ++shard) {
+    workers_.emplace_back([this, shard] { worker_loop(shard); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_shard(int shard) {
+  try {
+    job_(job_ctx_, shard);
+  } catch (...) {
+    errors_[shard] = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_shard(shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::dispatch(void (*fn)(void*, int), void* ctx) {
+  if (num_threads_ == 1) {
+    // No workers to coordinate with — and no barrier to quiesce at, so an
+    // exception propagates directly.
+    fn(ctx, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = fn;
+    job_ctx_ = ctx;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_shard(0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+  // Quiesced: every shard has returned. Rethrow the lowest-numbered
+  // capture — shards are contiguous vertex ranges, so this is the same
+  // exception the serial loop would have hit first (vertex order).
+  for (std::exception_ptr& e : errors_) {
+    if (e) {
+      std::exception_ptr first = std::move(e);
+      for (std::exception_ptr& rest : errors_) rest = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace ecd::congest

@@ -1,0 +1,79 @@
+// Persistent bulk-synchronous worker pool for the CONGEST simulator
+// (DESIGN.md §11 "Parallel execution").
+//
+// The simulator's round structure is bulk-synchronous: every round is a
+// compute phase over all vertices followed by a delivery phase over all
+// ports, with a full barrier between them. This pool is shaped for exactly
+// that pattern — one dispatch runs one shard function across a fixed team
+// of threads and returns only when every shard is done, so the caller
+// always observes the network between phases, never inside one.
+//
+// Dispatch is allocation-free: run() type-erases the callable through a
+// plain function pointer + context pointer instead of std::function, so a
+// capturing lambda dispatched every simulated round never touches the heap
+// (the substrate's zero-allocation contract, DESIGN.md §10).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ecd::congest {
+
+// A fixed team of num_threads() shards: run(fn) invokes fn(shard) for every
+// shard in [0, num_threads()) — shard 0 on the calling thread, the rest on
+// persistent workers — and blocks until all shards return. An exception
+// thrown inside a shard is captured, the dispatch still quiesces at the
+// barrier (every other shard runs to completion), and the exception from
+// the lowest-numbered throwing shard is rethrown on the calling thread.
+class ThreadPool {
+ public:
+  // Maps the NetworkOptions::num_threads convention to a concrete degree
+  // of parallelism: values >= 1 pass through, anything else (0 included)
+  // resolves to std::thread::hardware_concurrency(), never below 1.
+  static int resolve(int requested);
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  template <typename Fn>
+  void run(Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    dispatch([](void* ctx, int shard) { (*static_cast<F*>(ctx))(shard); },
+             &fn);
+  }
+
+ private:
+  void dispatch(void (*fn)(void*, int), void* ctx);
+  void worker_loop(int shard);
+  void run_shard(int shard);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  // Barrier state. A dispatch publishes the job under mu_ and bumps
+  // generation_; workers run their shard and decrement pending_; the caller
+  // waits for pending_ == 0. The mutex hand-off is what sequences a shard's
+  // unsynchronized writes (mailbox slots, per-shard accumulators,
+  // errors_[shard]) before the caller — and the next dispatch — reads them.
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  void (*job_)(void*, int) = nullptr;
+  void* job_ctx_ = nullptr;
+  std::vector<std::exception_ptr> errors_;  // one slot per shard
+};
+
+}  // namespace ecd::congest

@@ -512,6 +512,43 @@ TEST(RoundLedger, ModeledFormulaGrowsWithNAndShrinkingEps) {
 
 // Integration: primitives run on decomposition clusters under strict
 // CONGEST enforcement (bandwidth 1 token/edge/round for control traffic).
+// The primitives run unchanged under parallel execution: leader election,
+// BFS trees, and orientation at num_threads=4 must produce bit-identical
+// outputs and RunStats to the serial path (the TSan CI job runs this test
+// to prove the sharded round loop is race-free on real protocol traffic).
+TEST(Integration, PrimitivesAreBitIdenticalUnderParallelExecution) {
+  Rng rng(31);
+  const Graph g = graph::random_maximal_planar(128, rng);
+  std::vector<int> cluster(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) cluster[v] = v % 2;
+
+  NetworkOptions parallel_net;
+  parallel_net.num_threads = 4;
+
+  const auto serial_leaders = elect_cluster_leaders(g, cluster);
+  const auto par_leaders = elect_cluster_leaders(g, cluster, parallel_net);
+  EXPECT_EQ(par_leaders.leader_of, serial_leaders.leader_of);
+  EXPECT_EQ(par_leaders.stats.rounds, serial_leaders.stats.rounds);
+  EXPECT_EQ(par_leaders.stats.messages_sent, serial_leaders.stats.messages_sent);
+  EXPECT_EQ(par_leaders.stats.words_sent, serial_leaders.stats.words_sent);
+  EXPECT_EQ(par_leaders.stats.max_edge_load, serial_leaders.stats.max_edge_load);
+
+  const auto serial_tree =
+      build_cluster_bfs_trees(g, cluster, serial_leaders.leader_of);
+  const auto par_tree = build_cluster_bfs_trees(g, cluster,
+                                                par_leaders.leader_of,
+                                                parallel_net);
+  EXPECT_EQ(par_tree.parent, serial_tree.parent);
+  EXPECT_EQ(par_tree.depth, serial_tree.depth);
+  EXPECT_EQ(par_tree.stats.messages_sent, serial_tree.stats.messages_sent);
+
+  const auto serial_orient = orient_cluster_edges(g, cluster, 5);
+  const auto par_orient = orient_cluster_edges(g, cluster, 5, parallel_net);
+  EXPECT_EQ(par_orient.owned, serial_orient.owned);
+  EXPECT_EQ(par_orient.max_out_degree, serial_orient.max_out_degree);
+  EXPECT_EQ(par_orient.stats.messages_sent, serial_orient.stats.messages_sent);
+}
+
 TEST(Integration, PrimitivesOnDecomposedGrid) {
   Graph g = graph::grid(10, 10);
   const auto d = expander::expander_decompose(g, 0.25);

@@ -1,13 +1,16 @@
-// Substrate-level tests for the mailbox arena (src/congest/network.cpp):
-// per-port FIFO order, double-buffer isolation between rounds, WordBuffer
-// spill behaviour, send-side validation, the max_rounds budget, and a parity
-// fixture pinning trace/RunStats output to numbers recorded on the
+// Substrate-level tests for the mailbox arena and the parallel round loop
+// (src/congest/network.cpp, src/congest/thread_pool.cpp): per-port FIFO
+// order, double-buffer isolation between rounds, WordBuffer spill
+// behaviour, send-side validation, the max_rounds budget, bit-identical
+// results across thread counts, error recovery after aborted runs, and a
+// parity fixture pinning trace/RunStats output to numbers recorded on the
 // pre-arena simulator.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 #include <string>
 
+#include "src/baselines/luby_mis.h"
 #include "src/congest/network.h"
 #include "src/congest/primitives.h"
 #include "src/congest/trace.h"
@@ -52,7 +55,7 @@ class FifoReceiver final : public VertexAlgorithm {
   std::vector<std::int64_t> seen_;
 };
 
-TEST(Substrate, PerPortDeliveryIsFifo) {
+void run_fifo_burst(int num_threads) {
   Graph g = graph::path(2);
   auto sender = std::make_unique<BurstSender>();
   auto receiver = std::make_unique<FifoReceiver>();
@@ -62,11 +65,18 @@ TEST(Substrate, PerPortDeliveryIsFifo) {
   algos.push_back(std::move(receiver));
   NetworkOptions opt;
   opt.bandwidth_tokens = 3;
+  opt.num_threads = num_threads;
   Network net(g, opt);
   net.run(algos);
   const std::vector<std::int64_t> expected{0, 1, 2, 10, 11, 12, 20, 21, 22};
   EXPECT_EQ(typed->seen(), expected);
 }
+
+TEST(Substrate, PerPortDeliveryIsFifo) { run_fifo_burst(1); }
+
+// Per-port FIFO survives parallel execution: each directed edge has a
+// single sender, so slot order is send order regardless of sharding.
+TEST(Substrate, PerPortDeliveryIsFifoParallel) { run_fifo_burst(8); }
 
 // --- Double-buffer isolation -----------------------------------------------
 
@@ -215,22 +225,30 @@ class NeverDoneAlgo final : public VertexAlgorithm {
   int rounds_seen = 0;
 };
 
-TEST(Substrate, MaxRoundsExecutesExactlyThatManyComputeRounds) {
-  Graph g = graph::path(2);
-  auto a = std::make_unique<NeverDoneAlgo>();
-  auto b = std::make_unique<NeverDoneAlgo>();
-  NeverDoneAlgo* ta = a.get();
-  NeverDoneAlgo* tb = b.get();
+void run_max_rounds_pin(int num_threads) {
+  Graph g = graph::grid(4, 4);
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
-  algos.push_back(std::move(a));
-  algos.push_back(std::move(b));
+  std::vector<NeverDoneAlgo*> typed;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = std::make_unique<NeverDoneAlgo>();
+    typed.push_back(a.get());
+    algos.push_back(std::move(a));
+  }
   NetworkOptions opt;
   opt.max_rounds = 7;
+  opt.num_threads = num_threads;
   Network net(g, opt);
   EXPECT_THROW(net.run(algos), std::runtime_error);
   // The budget is exact: max_rounds compute rounds, not max_rounds + 1.
-  EXPECT_EQ(ta->rounds_seen, 7);
-  EXPECT_EQ(tb->rounds_seen, 7);
+  for (const NeverDoneAlgo* a : typed) EXPECT_EQ(a->rounds_seen, 7);
+}
+
+TEST(Substrate, MaxRoundsExecutesExactlyThatManyComputeRounds) {
+  run_max_rounds_pin(1);
+}
+
+TEST(Substrate, MaxRoundsBudgetIsExactUnderParallelExecution) {
+  run_max_rounds_pin(4);
 }
 
 class FinishAfterAlgo final : public VertexAlgorithm {
@@ -255,6 +273,293 @@ TEST(Substrate, FinishingAtTheRoundLimitStillCompletes) {
   EXPECT_EQ(net.run(algos).rounds, 7);
 }
 
+// --- Determinism across thread counts --------------------------------------
+//
+// The parallel loop's correctness anchor (DESIGN.md §11): per-port deposits
+// are single-writer and per-port FIFO has one sender per direction, so
+// RunStats and every vertex's final state must be bit-identical for every
+// num_threads value. Each workload below runs at 1/2/4/8 threads and pins
+// all outputs to the serial result.
+
+void expect_same_stats(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.words_sent, b.words_sent);
+  EXPECT_EQ(a.max_edge_load, b.max_edge_load);
+}
+
+// Flood wavefront: vertex 0 announces, everyone forwards on first receipt;
+// the final per-vertex output is the round the wave arrived.
+class FloodWaveAlgo final : public VertexAlgorithm {
+ public:
+  explicit FloodWaveAlgo(bool is_source) : source_(is_source) {}
+
+  void round(Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    if (arrival_ >= 0) return;
+    if (source_) {
+      arrival_ = 0;
+      forward(ctx);
+      return;
+    }
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      if (!ctx.inbox(p).empty()) {
+        arrival_ = ctx.round();
+        forward(ctx);
+        return;
+      }
+    }
+  }
+  bool finished() const override { return started_ && !sent_; }
+  std::int64_t output() const { return arrival_; }
+
+ private:
+  void forward(Context& ctx) {
+    sent_ = true;
+    for (int p = 0; p < ctx.num_ports(); ++p) ctx.send(p, {{arrival_}});
+  }
+  bool source_;
+  std::int64_t arrival_ = -1;
+  bool started_ = false;
+  bool sent_ = false;
+};
+
+// Full-duplex saturation with data-dependent payloads: every vertex sends
+// a parity-mixed word on every port each round, folding received words
+// into a running sink — any delivery mixup changes the final sinks.
+class SaturateAlgo final : public VertexAlgorithm {
+ public:
+  explicit SaturateAlgo(int rounds) : rounds_(rounds) {}
+
+  void round(Context& ctx) override {
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      for (const Message& m : ctx.inbox(p)) sink_ += m.words[0];
+    }
+    if (ctx.round() < rounds_) {
+      for (int p = 0; p < ctx.num_ports(); ++p) {
+        ctx.send(p, {{(sink_ * 31 + ctx.id()) ^ ctx.round()}});
+      }
+    } else {
+      done_ = true;
+    }
+  }
+  bool finished() const override { return done_; }
+  std::int64_t output() const { return sink_; }
+
+ private:
+  int rounds_;
+  std::int64_t sink_ = 0;
+  bool done_ = false;
+};
+
+struct DeterminismOutcome {
+  RunStats stats;
+  std::vector<std::int64_t> outputs;
+};
+
+template <typename Algo, typename Make>
+DeterminismOutcome run_workload(const Graph& g, int num_threads, Make make) {
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  std::vector<Algo*> typed;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = make(v);
+    typed.push_back(a.get());
+    algos.push_back(std::move(a));
+  }
+  NetworkOptions opt;
+  opt.num_threads = num_threads;
+  Network net(g, opt);
+  DeterminismOutcome out;
+  out.stats = net.run(algos);
+  for (const Algo* a : typed) out.outputs.push_back(a->output());
+  return out;
+}
+
+TEST(ParallelDeterminism, FloodIsBitIdenticalAcrossThreadCounts) {
+  const Graph g = graph::grid(24, 24);
+  const auto make = [](VertexId v) {
+    return std::make_unique<FloodWaveAlgo>(v == 0);
+  };
+  const auto serial = run_workload<FloodWaveAlgo>(g, 1, make);
+  EXPECT_EQ(serial.stats.messages_sent, 2 * g.num_edges());
+  for (const int threads : {2, 4, 8}) {
+    const auto par = run_workload<FloodWaveAlgo>(g, threads, make);
+    expect_same_stats(par.stats, serial.stats);
+    EXPECT_EQ(par.outputs, serial.outputs) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, PingPongIsBitIdenticalAcrossThreadCounts) {
+  const Graph g = graph::grid(16, 16);
+  const auto make = [](VertexId) { return std::make_unique<SaturateAlgo>(12); };
+  const auto serial = run_workload<SaturateAlgo>(g, 1, make);
+  for (const int threads : {2, 4, 8}) {
+    const auto par = run_workload<SaturateAlgo>(g, threads, make);
+    expect_same_stats(par.stats, serial.stats);
+    EXPECT_EQ(par.outputs, serial.outputs) << threads << " threads";
+  }
+}
+
+// Randomized workload: Luby MIS draws per-vertex mt19937_64 priorities.
+// RNG state lives inside each vertex algorithm, so the drawn bits — and
+// therefore the chosen independent set — must not depend on sharding.
+TEST(ParallelDeterminism, LubyMisIsBitIdenticalAcrossThreadCounts) {
+  graph::Rng rng(99);
+  const Graph g = graph::random_maximal_planar(300, rng);
+  congest::NetworkOptions opt;
+  const auto serial = baselines::luby_mis(g, 7, opt);
+  EXPECT_FALSE(serial.independent_set.empty());
+  for (const int threads : {2, 4, 8}) {
+    congest::NetworkOptions popt;
+    popt.num_threads = threads;
+    const auto par = baselines::luby_mis(g, 7, popt);
+    expect_same_stats(par.stats, serial.stats);
+    EXPECT_EQ(par.independent_set, serial.independent_set)
+        << threads << " threads";
+    EXPECT_EQ(par.phases, serial.phases);
+  }
+}
+
+// --- Error recovery after aborted runs -------------------------------------
+//
+// A violation aborts a run mid-round with messages already deposited for
+// the next round. The Network must stay reusable: a fresh run() on the
+// same instance starts from clean mailboxes and reports correct stats
+// (the reset_mailboxes path), in arena, fallback, and parallel modes.
+
+// Sends within budget at round 0 (so both buffers hold state when the
+// abort happens), then overruns the per-edge token budget at round 1.
+class BudgetViolatorAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    ctx.send(0, {{1}});
+    if (ctx.round() >= 1) ctx.send(0, {{2}});  // second token: budget is 1
+  }
+  bool finished() const override { return false; }
+};
+
+// Valid send at round 0, out-of-range port at round 1.
+class LateBadPortAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    if (ctx.round() == 0) {
+      ctx.send(0, {{1}});
+    } else {
+      ctx.send(ctx.num_ports(), {{1}});
+    }
+  }
+  bool finished() const override { return false; }
+};
+
+// Oversized message at round 1 — the violation reachable in fallback mode
+// with enforcement still on.
+class LateFatMessageAlgo final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    if (ctx.round() == 0) {
+      ctx.send(0, {{1}});
+    } else {
+      Message m;
+      for (int i = 0; i < kMaxMessageWords + 2; ++i) m.words.push_back(i);
+      ctx.send(0, std::move(m));
+    }
+  }
+  bool finished() const override { return false; }
+};
+
+template <typename Violator>
+void abort_then_recover(const NetworkOptions& opt) {
+  Graph g = graph::path(2);
+  Network net(g, opt);
+  {
+    std::vector<std::unique_ptr<VertexAlgorithm>> bad;
+    bad.push_back(std::make_unique<Violator>());
+    bad.push_back(std::make_unique<Violator>());
+    EXPECT_THROW(net.run(bad), std::exception);
+  }
+  // SendThenReadAlgo asserts its inboxes internally: leftovers from the
+  // aborted run would fail the round-0 empty-inbox expectation.
+  std::vector<std::unique_ptr<VertexAlgorithm>> clean;
+  clean.push_back(std::make_unique<SendThenReadAlgo>());
+  clean.push_back(std::make_unique<SendThenReadAlgo>());
+  const RunStats stats = net.run(clean);
+  EXPECT_EQ(stats.rounds, SendThenReadAlgo::kRounds + 1);
+  EXPECT_EQ(stats.messages_sent, 2 * SendThenReadAlgo::kRounds);
+  EXPECT_EQ(stats.words_sent, 2 * SendThenReadAlgo::kRounds);
+  EXPECT_EQ(stats.max_edge_load, 1);
+}
+
+TEST(ErrorRecovery, CongestionAbortThenFreshRunInArenaMode) {
+  abort_then_recover<BudgetViolatorAlgo>({});
+}
+
+TEST(ErrorRecovery, BadPortAbortThenFreshRunInArenaMode) {
+  abort_then_recover<LateBadPortAlgo>({});
+}
+
+TEST(ErrorRecovery, BadPortAbortThenFreshRunInLocalMode) {
+  NetworkOptions opt;
+  opt.enforce_bandwidth = false;  // per-port vector fallback path
+  abort_then_recover<LateBadPortAlgo>(opt);
+}
+
+TEST(ErrorRecovery, MessageSizeAbortThenFreshRunInEnforcedFallbackMode) {
+  // 2 directed ports * 3M tokens exceeds the arena ceiling, so this is the
+  // fallback representation with bandwidth enforcement still active.
+  NetworkOptions opt;
+  opt.bandwidth_tokens = 3'000'000;
+  abort_then_recover<LateFatMessageAlgo>(opt);
+}
+
+// Parallel abort: the violation is raised on a worker, quiesced at the
+// round barrier, and rethrown on the caller thread as the same exception
+// the serial loop would pick (lowest vertex id — shards are contiguous).
+TEST(ErrorRecovery, ParallelAbortRethrowsFirstViolationAndStaysReusable) {
+  const Graph g = graph::grid(8, 8);
+  NetworkOptions opt;
+  opt.num_threads = 4;
+  Network net(g, opt);
+  {
+    std::vector<std::unique_ptr<VertexAlgorithm>> bad;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      bad.push_back(std::make_unique<BudgetViolatorAlgo>());
+    }
+    try {
+      net.run(bad);
+      FAIL() << "budget overrun was accepted";
+    } catch (const CongestionError& e) {
+      EXPECT_EQ(e.kind(), CongestionError::Kind::kBandwidth);
+      EXPECT_EQ(e.round(), 1);
+      EXPECT_EQ(e.from(), 0);  // serial order: vertex 0 violates first
+      EXPECT_EQ(e.used(), 2);
+      EXPECT_EQ(e.budget(), 1);
+    }
+  }
+  const auto make = [](VertexId v) {
+    return std::make_unique<FloodWaveAlgo>(v == 0);
+  };
+  const auto recovered = run_workload<FloodWaveAlgo>(g, 1, make);
+  std::vector<std::unique_ptr<VertexAlgorithm>> clean;
+  std::vector<FloodWaveAlgo*> typed;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = make(v);
+    typed.push_back(a.get());
+    clean.push_back(std::move(a));
+  }
+  const RunStats stats = net.run(clean);
+  expect_same_stats(stats, recovered.stats);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(typed[v]->output(), recovered.outputs[v]);
+  }
+}
+
+TEST(ErrorRecovery, ParallelBadPortAbortThenFreshRun) {
+  NetworkOptions opt;
+  opt.num_threads = 2;
+  abort_then_recover<LateBadPortAlgo>(opt);
+}
+
 // --- Parity fixture --------------------------------------------------------
 
 void expect_stats(const RunStats& s, std::int64_t rounds, std::int64_t msgs,
@@ -274,8 +579,9 @@ void expect_tag(const MetricsCollector& mc, int tag, std::int64_t msgs,
 
 // Every number below was recorded by running this exact workload on the
 // pre-arena simulator (per-vertex vector mailboxes, commit 85a25a5). The
-// arena rewrite must reproduce RunStats and every trace aggregate exactly.
-TEST(SubstrateParity, TraceAndStatsMatchPreArenaRecording) {
+// arena rewrite must reproduce RunStats and every trace aggregate exactly —
+// and so must any net options (num_threads included) layered on top.
+void run_parity_workload(NetworkOptions net) {
   graph::Rng rng(77);
   const Graph g = graph::random_maximal_planar(64, rng);
   std::vector<int> cluster(g.num_vertices());
@@ -283,7 +589,6 @@ TEST(SubstrateParity, TraceAndStatsMatchPreArenaRecording) {
     cluster[v] = v % 3 == 0 ? 0 : 1;
   }
   MetricsCollector mc;
-  NetworkOptions net;
   net.trace = &mc;
 
   const auto leaders = elect_cluster_leaders(g, cluster, net);
@@ -352,6 +657,19 @@ TEST(SubstrateParity, TraceAndStatsMatchPreArenaRecording) {
   EXPECT_EQ(edge_messages, 8971);
   EXPECT_EQ(peak, 2);
   EXPECT_EQ(edges.size(), 258u);
+}
+
+TEST(SubstrateParity, TraceAndStatsMatchPreArenaRecording) {
+  run_parity_workload({});
+}
+
+// Traced runs execute serially whatever num_threads asks for (DESIGN.md
+// §11), so requesting full hardware concurrency must still reproduce the
+// recorded fixture byte for byte.
+TEST(SubstrateParity, TracedRunAtHardwareConcurrencyMatchesFixture) {
+  NetworkOptions net;
+  net.num_threads = 0;  // resolve to hardware concurrency
+  run_parity_workload(net);
 }
 
 }  // namespace
