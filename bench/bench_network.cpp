@@ -245,6 +245,36 @@ void BM_PingPong(benchmark::State& state) {
   });
 }
 
+// Fault-injection overhead (DESIGN.md §12): the saturation workload under a
+// mixed drop/duplicate/delay plan. `fault_permille` sets the drop and delay
+// probabilities to f/1000 (duplicates at half that); 0 disables the plan and
+// measures the zero-overhead fault-free path of the same binary. The
+// steady-state allocation contract holds with faults on — delayed messages
+// ride the arena slack reserved at construction, never the heap — so
+// allocs_per_round must stay ~0 on every row.
+void BM_FaultyPingPong(benchmark::State& state) {
+  const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
+  const int rounds = static_cast<int>(state.range(1));
+  const int permille = static_cast<int>(state.range(2));
+  NetworkOptions opt;
+  opt.num_threads = static_cast<int>(state.range(3));
+  if (permille > 0) {
+    opt.faults.seed = 0xb1a5;
+    opt.faults.drop_probability = permille / 1000.0;
+    opt.faults.duplicate_probability = permille / 2000.0;
+    opt.faults.delay_probability = permille / 1000.0;
+    opt.faults.max_delay_rounds = 2;
+  }
+  run_substrate_bench(state, g, opt, [&] {
+    std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+    algos.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      algos.push_back(std::make_unique<PingPongAlgo>(rounds));
+    }
+    return algos;
+  });
+}
+
 void BM_TreeClimb(benchmark::State& state) {
   const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
   const std::vector<int> parent_port = bfs_parent_ports(g);
@@ -286,6 +316,16 @@ BENCHMARK(BM_PingPong)
     ->Args({102400, 16, 2})
     ->Args({102400, 16, 4})
     ->Args({102400, 16, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultyPingPong)
+    ->ArgNames({"n", "rounds", "fault_permille", "threads"})
+    ->Args({1024, 64, 0, 1})
+    ->Args({1024, 64, 10, 1})
+    ->Args({1024, 64, 100, 1})
+    ->Args({10240, 64, 10, 1})
+    ->Args({1024, 64, 10, 4})
+    ->Args({102400, 16, 10, 4})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TreeClimb)

@@ -20,13 +20,20 @@ namespace {
 // even round.
 class LubyAlgo final : public congest::VertexAlgorithm {
  public:
-  explicit LubyAlgo(std::uint64_t seed) : rng_(seed) {}
+  LubyAlgo(std::uint64_t seed, int prelude_rounds)
+      : rng_(seed), prelude_(prelude_rounds) {}
 
   enum class State { kActive, kInMis, kRetired };
 
   void round(Context& ctx) override {
     if (done_) return;
-    if (ctx.round() % 2 == 0) {
+    if (ctx.round() < prelude_) return;  // composed behind an earlier phase
+    // Phase parity is internal state, not ctx.round() % 2: composed behind
+    // a prelude (first invocation at an odd global round), global parity is
+    // out of phase with the protocol's and every vertex would judge the
+    // priority exchange in the wrong half-phase.
+    const int step = step_++;
+    if (step % 2 == 0) {
       // Retirement announcements from the previous odd round arrive now.
       for (int p = 0; p < ctx.num_ports(); ++p) {
         for (const Message& m : ctx.inbox(p)) {
@@ -73,17 +80,19 @@ class LubyAlgo final : public congest::VertexAlgorithm {
   std::int64_t priority_ = 0;
   bool done_ = false;
   int phases_ = 0;
+  int prelude_ = 0;
+  int step_ = 0;  // executed protocol steps; parity = protocol half-phase
 };
 
 }  // namespace
 
 LubyResult luby_mis(const Graph& g, std::uint64_t seed,
-                    const congest::NetworkOptions& net) {
+                    const congest::NetworkOptions& net, int prelude_rounds) {
   std::vector<std::unique_ptr<congest::VertexAlgorithm>> algos;
   std::vector<LubyAlgo*> typed(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    auto a =
-        std::make_unique<LubyAlgo>(seed ^ (0xD1B54A32D192ED03ULL * (v + 2)));
+    auto a = std::make_unique<LubyAlgo>(
+        seed ^ (0xD1B54A32D192ED03ULL * (v + 2)), prelude_rounds);
     typed[v] = a.get();
     algos.push_back(std::move(a));
   }

@@ -17,7 +17,12 @@ struct LubyResult {
   int phases = 0;
 };
 
+// `prelude_rounds` models composition: every vertex idles that many rounds
+// before its first protocol step, as when the MIS runs after another phase
+// of a larger algorithm. The result must not depend on it — phase parity is
+// the algorithm's own state, not the global round number's.
 LubyResult luby_mis(const graph::Graph& g, std::uint64_t seed = 1,
-                    const congest::NetworkOptions& net = {});
+                    const congest::NetworkOptions& net = {},
+                    int prelude_rounds = 0);
 
 }  // namespace ecd::baselines

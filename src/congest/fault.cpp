@@ -1,0 +1,40 @@
+#include "src/congest/fault.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ecd::congest {
+
+void FaultPlan::validate(int num_vertices) const {
+  auto bad = [](const char* what) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + what);
+  };
+  if (drop_probability < 0.0 || duplicate_probability < 0.0 ||
+      delay_probability < 0.0) {
+    bad("fault probabilities must be non-negative");
+  }
+  if (drop_probability + duplicate_probability + delay_probability > 1.0) {
+    bad("drop + duplicate + delay probabilities exceed 1");
+  }
+  if (delay_probability > 0.0 && max_delay_rounds < 1) {
+    bad("delay enabled with max_delay_rounds < 1");
+  }
+  // Remaining-pass counters are stored as signed char in the simulator.
+  if (delay_probability > 0.0 && max_delay_rounds > 127) {
+    bad("max_delay_rounds exceeds 127");
+  }
+  if (first_faulty_round > last_faulty_round) {
+    bad("first_faulty_round > last_faulty_round");
+  }
+  for (const CrashEvent& c : crashes) {
+    if (c.vertex < 0 || c.vertex >= num_vertices) {
+      std::ostringstream os;
+      os << "FaultPlan: crash names vertex " << c.vertex
+         << " outside [0, " << num_vertices << ")";
+      throw std::invalid_argument(os.str());
+    }
+    if (c.round < 0) bad("crash round must be >= 0");
+  }
+}
+
+}  // namespace ecd::congest

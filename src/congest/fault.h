@@ -1,0 +1,126 @@
+// Deterministic fault injection for the CONGEST simulator (DESIGN.md §12).
+//
+// The paper's framework (Theorem 2.6) assumes a perfectly reliable
+// synchronous network. This layer lets every experiment drop that
+// assumption on purpose: a FaultPlan attached to NetworkOptions makes the
+// delivery phase drop, duplicate, or delay messages and crash-stop vertices
+// at configured rounds/probabilities.
+//
+// Determinism contract: every fault decision is a pure function of
+// (plan.seed, round, directed port, slot index) evaluated through
+// splitmix64 — no RNG state is carried between rounds or shared across
+// shards. A message occupies the same port and slot no matter how many
+// threads execute the round (single-writer slot discipline, DESIGN.md §11),
+// so fault schedules are bit-identical across NetworkOptions::num_threads,
+// the same guarantee the parallel loop gives fault-free runs.
+//
+// Semantics, applied per delivered message in the delivery phase:
+//   * one uniform draw partitions [0,1) into drop / duplicate / delay /
+//     deliver, so the three probabilities must sum to at most 1;
+//   * drop      — the message vanishes; the sender is not told;
+//   * duplicate — the receiver sees the message twice in the same round
+//     (the copy trails the port's originals and takes no further faults);
+//   * delay     — the message is withheld and delivered d rounds late,
+//     d drawn uniformly from [1, max_delay_rounds]; per-port FIFO order is
+//     NOT preserved across a delayed message (that is the point);
+//   * crash-stop — vertex v stops executing at round r: its round() is
+//     never called again, it counts as finished for termination, and
+//     messages already in flight from it are still delivered.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/splitmix.h"
+
+namespace ecd::congest {
+
+struct CrashEvent {
+  graph::VertexId vertex = graph::kInvalidVertex;
+  // First round the vertex does not execute (0 = dead from the start).
+  std::int64_t round = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Per-message probabilities; drop + duplicate + delay must be <= 1.
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double delay_probability = 0.0;
+  // Inclusive upper bound on an injected delay, in rounds (>= 1 whenever
+  // delay_probability > 0).
+  int max_delay_rounds = 1;
+
+  // Probabilistic message faults apply only to messages delivered in
+  // rounds [first_faulty_round, last_faulty_round]. Crash events are
+  // unaffected by this window.
+  std::int64_t first_faulty_round = 0;
+  std::int64_t last_faulty_round = std::numeric_limits<std::int64_t>::max();
+
+  std::vector<CrashEvent> crashes;
+
+  bool has_message_faults() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           delay_probability > 0.0;
+  }
+  bool enabled() const { return has_message_faults() || !crashes.empty(); }
+
+  // Throws std::invalid_argument on malformed probabilities, a non-positive
+  // delay bound with delay enabled, or a crash naming a vertex outside
+  // [0, num_vertices). Called by the Network constructor.
+  void validate(int num_vertices) const;
+};
+
+// What the single per-message draw decided.
+enum class FaultAction : std::uint8_t {
+  kDeliver,
+  kDrop,
+  kDuplicate,
+  kDelay,
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kDeliver;
+  int delay_rounds = 0;  // in [1, max_delay_rounds] when action == kDelay
+};
+
+// The stateless per-message draw. `port` is the receiver's directed-port
+// index and `slot` the message's position in that port's round batch; both
+// are identical across thread counts, which is what makes the schedule
+// deterministic.
+inline FaultDecision fault_decision(const FaultPlan& plan, std::int64_t round,
+                                    int port, int slot) {
+  FaultDecision out;
+  if (round < plan.first_faulty_round || round > plan.last_faulty_round) {
+    return out;
+  }
+  const std::uint64_t key =
+      plan.seed ^ graph::splitmix64(static_cast<std::uint64_t>(round) ^
+                                    (static_cast<std::uint64_t>(
+                                         static_cast<std::uint32_t>(port))
+                                     << 24) ^
+                                    (static_cast<std::uint64_t>(
+                                         static_cast<std::uint32_t>(slot))
+                                     << 54));
+  const std::uint64_t h = graph::splitmix64(key);
+  const double u = graph::splitmix_unit(h);
+  if (u < plan.drop_probability) {
+    out.action = FaultAction::kDrop;
+  } else if (u < plan.drop_probability + plan.duplicate_probability) {
+    out.action = FaultAction::kDuplicate;
+  } else if (u < plan.drop_probability + plan.duplicate_probability +
+                     plan.delay_probability) {
+    out.action = FaultAction::kDelay;
+    // Independent bits for the delay magnitude.
+    out.delay_rounds =
+        1 + static_cast<int>(graph::splitmix64(h ^ 0x6a09e667f3bcc909ULL) %
+                             static_cast<std::uint64_t>(
+                                 plan.max_delay_rounds));
+  }
+  return out;
+}
+
+}  // namespace ecd::congest

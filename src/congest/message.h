@@ -42,6 +42,7 @@ enum MsgTag : int {
   kTagConvergecast = 6,
   kTagDiameter = 7,
   kTagTreeToken = 8,
+  kTagWalkAck = 9,
   kTagUserBase = 64,
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -50,7 +51,17 @@ CongestionError::CongestionError(Kind kind, std::int64_t round,
       budget_(budget) {}
 
 Network::Network(const Graph& g, NetworkOptions options)
-    : g_(g), options_(options), n_(g.num_vertices()) {
+    : g_(g), options_(std::move(options)), n_(g.num_vertices()) {
+  // Validate even when no fault fires: a malformed plan (negative
+  // probability, bad crash vertex) should fail loudly, not read as "off".
+  options_.faults.validate(n_);
+  faults_active_ = options_.faults.enabled();
+  if (faults_active_) {
+    crash_round_.assign(n_, std::numeric_limits<std::int64_t>::max());
+    for (const CrashEvent& c : options_.faults.crashes) {
+      crash_round_[c.vertex] = std::min(crash_round_[c.vertex], c.round);
+    }
+  }
   // Directed-port CSR: port p of vertex v is global port port_base_[v] + p,
   // aligned with Graph::neighbors(v).
   port_base_.resize(n_ + 1);
@@ -136,6 +147,15 @@ Network::Network(const Graph& g, NetworkOptions options)
   shard_accum_.resize(num_shards_);
 
   slot_cap_ = std::max(1, options_.bandwidth_tokens);
+  if (faults_active_ && options_.faults.has_message_faults()) {
+    // Worst case per directed port with message faults on: B fresh sends,
+    // up to B * max_delay_rounds delayed messages in transit ahead of them,
+    // and up to B duplicate copies appended during the fault pass.
+    const int delay_span = options_.faults.delay_probability > 0.0
+                               ? options_.faults.max_delay_rounds
+                               : 0;
+    slot_cap_ = slot_cap_ * (delay_span + 2);
+  }
   arena_mode_ =
       options_.enforce_bandwidth &&
       static_cast<std::int64_t>(num_dir_ports_) * slot_cap_ <= kMaxArenaSlots;
@@ -147,6 +167,15 @@ Network::Network(const Graph& g, NetworkOptions options)
       boxes_[b].resize(num_dir_ports_);
     }
     mail_[b].assign(n_, 0);
+    if (faults_active_) {
+      injected_[b].assign(num_dir_ports_, 0);
+      if (arena_mode_) {
+        stage_slab_[b].assign(
+            static_cast<std::size_t>(num_dir_ports_) * slot_cap_, 0);
+      } else {
+        stage_boxes_[b].resize(num_dir_ports_);
+      }
+    }
   }
   // A bucket gains at most one entry per receiver port it can be chosen
   // for, so reserving the exact port count per bucket makes steady-state
@@ -196,6 +225,10 @@ void Context::send(int port, Message message) {
   const int queued = net.arena_mode_
                          ? net.counts_[out][rs]
                          : static_cast<int>(net.boxes_[out][rs].size());
+  // Delayed messages injected by the fault hook occupy the port's slot
+  // prefix; the sender's bandwidth budget applies to its fresh suffix only.
+  const int fresh =
+      net.faults_active_ ? queued - net.injected_[out][rs] : queued;
   if (net.options_.enforce_bandwidth) {
     if (message.size_words() > kMaxMessageWords) {
       CongestionError err(CongestionError::Kind::kMessageSize, round_, id_,
@@ -204,9 +237,9 @@ void Context::send(int port, Message message) {
       if (net.options_.trace) net.options_.trace->on_violation(err);
       throw err;
     }
-    if (queued >= net.options_.bandwidth_tokens) {
+    if (fresh >= net.options_.bandwidth_tokens) {
       CongestionError err(CongestionError::Kind::kBandwidth, round_, id_,
-                          neighbors_[port], queued + 1,
+                          neighbors_[port], fresh + 1,
                           net.options_.bandwidth_tokens);
       if (net.options_.trace) net.options_.trace->on_violation(err);
       throw err;
@@ -235,11 +268,16 @@ void Network::reset_mailboxes() {
         } else {
           boxes_[b][gp].clear();
         }
+        if (faults_active_) {
+          injected_[b][gp] = 0;
+          if (!arena_mode_) stage_boxes_[b][gp].clear();
+        }
         mail_[b][port_owner_[gp]] = 0;
       }
       bucket.clear();
     }
   }
+  pending_injected_ = 0;
 }
 
 void Network::retire_inbox_buffer() {
@@ -249,6 +287,10 @@ void Network::retire_inbox_buffer() {
         counts_[in_][gp] = 0;
       } else {
         boxes_[in_][gp].clear();
+      }
+      if (faults_active_) {
+        injected_[in_][gp] = 0;
+        if (!arena_mode_) stage_boxes_[in_][gp].clear();
       }
       mail_[in_][port_owner_[gp]] = 0;
     }
@@ -275,7 +317,7 @@ RunStats Network::run_serial(
     if (!finished_[v]) ++unfinished;
   }
   for (std::int64_t r = 0;; ++r) {
-    if (unfinished == 0) {
+    if (unfinished == 0 && pending_injected_ == 0) {
       stats.rounds = r;
       if (trace) trace->on_run_end(stats);
       return stats;
@@ -287,6 +329,17 @@ RunStats Network::run_serial(
     const int out = 1 - in_;
     const std::vector<char>& mail_in = mail_[in_];
     for (VertexId v = 0; v < n_; ++v) {
+      if (faults_active_ && r >= crash_round_[v]) {
+        // Crash-stop: the vertex never executes again and counts as
+        // finished for termination; messages it already sent (and mail
+        // still in flight toward it) are unaffected.
+        if (r == crash_round_[v]) ++stats.vertices_crashed;
+        if (!finished_[v]) {
+          finished_[v] = 1;
+          --unfinished;
+        }
+        continue;
+      }
       Context& ctx = contexts_[v];
       ctx.round_ = r;
       algorithms[v]->round(ctx);
@@ -302,12 +355,19 @@ RunStats Network::run_serial(
         assert(algorithms[v]->finished());
       }
     }
+    // Retire this round's read inboxes BEFORE accounting: the fault hook
+    // may move delayed messages from `out` into exactly this buffer (it
+    // becomes next round's outbox), and those injections must survive.
+    retire_inbox_buffer();
     // Deliver. Messages already sit in their receivers' slots; what remains
-    // is accounting over the ports that carried traffic, then the swap.
+    // is the fault pass (when enabled) and accounting over the ports that
+    // carried traffic, then the swap.
     std::int64_t round_messages = 0;
     std::int64_t round_words = 0;
     int round_max_load = 0;
+    ShardAccum facc;
     const auto account = [&](int rs) {
+      if (faults_active_) apply_port_faults(rs, out, r, facc);
       const Message* msgs;
       int cnt;
       if (arena_mode_) {
@@ -318,6 +378,7 @@ RunStats Network::run_serial(
         msgs = box.data();
         cnt = static_cast<int>(box.size());
       }
+      if (cnt == 0) return;  // every message on the port dropped or delayed
       std::int64_t edge_words = 0;
       for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
       stats.messages_sent += cnt;
@@ -359,10 +420,15 @@ RunStats Network::run_serial(
       }
     }
     stats.max_edge_load = std::max(stats.max_edge_load, round_max_load);
+    if (faults_active_) {
+      stats.messages_dropped += facc.dropped;
+      stats.messages_duplicated += facc.duplicated;
+      stats.messages_delayed += facc.delayed;
+      pending_injected_ += facc.injected_delta;
+    }
     if (trace) {
       trace->on_round_end(r, round_messages, round_words, round_max_load);
     }
-    retire_inbox_buffer();
     in_ = out;
   }
 }
@@ -372,9 +438,19 @@ void Network::compute_shard(
     std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
   ShardAccum& acc = shard_accum_[s];
   acc.unfinished_delta = 0;
+  acc.crashed = 0;
   const std::vector<char>& mail_in = mail_[in_];
   const VertexId end = shard_begin_[s + 1];
   for (VertexId v = shard_begin_[s]; v < end; ++v) {
+    if (faults_active_ && r >= crash_round_[v]) {
+      // Crash-stop: mirror of the serial loop.
+      if (r == crash_round_[v]) ++acc.crashed;
+      if (!finished_[v]) {
+        finished_[v] = 1;
+        --acc.unfinished_delta;
+      }
+      continue;
+    }
     Context& ctx = contexts_[v];
     ctx.round_ = r;
     algorithms[v]->round(ctx);
@@ -392,13 +468,39 @@ void Network::compute_shard(
   }
 }
 
-void Network::deliver_shard(int t, int out) {
+void Network::deliver_shard(int t, int out, std::int64_t r) {
   ShardAccum& acc = shard_accum_[t];
   acc.messages = 0;
   acc.words = 0;
   acc.max_load = 0;
+  acc.dropped = 0;
+  acc.duplicated = 0;
+  acc.delayed = 0;
+  acc.injected_delta = 0;
+  // Retire shard t's ports of the vacated buffer FIRST: this round's
+  // inboxes have been read by the compute phase and the buffer becomes
+  // next round's outbox — into which the fault pass below may move delayed
+  // messages, so it must already be clear. Buckets (·, t) and shard t's
+  // ports of both buffers are touched by worker t alone in this phase.
+  for (int s = 0; s < num_shards_; ++s) {
+    std::vector<int>& bucket = active_[in_][s * num_shards_ + t];
+    for (const int rs : bucket) {
+      if (arena_mode_) {
+        counts_[in_][rs] = 0;
+      } else {
+        boxes_[in_][rs].clear();
+      }
+      if (faults_active_) {
+        injected_[in_][rs] = 0;
+        if (!arena_mode_) stage_boxes_[in_][rs].clear();
+      }
+      mail_[in_][port_owner_[rs]] = 0;
+    }
+    bucket.clear();
+  }
   for (int s = 0; s < num_shards_; ++s) {
     for (const int rs : active_[out][s * num_shards_ + t]) {
+      if (faults_active_) apply_port_faults(rs, out, r, acc);
       std::int64_t edge_words = 0;
       int cnt;
       if (arena_mode_) {
@@ -411,26 +513,148 @@ void Network::deliver_shard(int t, int out) {
         cnt = static_cast<int>(box.size());
         for (int i = 0; i < cnt; ++i) edge_words += box[i].size_words();
       }
+      if (cnt == 0) continue;  // every message on the port dropped/delayed
       acc.messages += cnt;
       acc.words += edge_words;
       acc.max_load = std::max(acc.max_load, cnt);
       mail_[out][port_owner_[rs]] = 1;
     }
   }
-  // Retire shard t's ports of the vacated buffer: this round's inboxes have
-  // been read by the compute phase and the buffer becomes next round's
-  // outbox. Buckets (·, t) are touched by worker t alone in this phase.
-  for (int s = 0; s < num_shards_; ++s) {
-    std::vector<int>& bucket = active_[in_][s * num_shards_ + t];
-    for (const int rs : bucket) {
-      if (arena_mode_) {
-        counts_[in_][rs] = 0;
-      } else {
-        boxes_[in_][rs].clear();
+}
+
+void Network::apply_port_faults(int rs, int out, std::int64_t r,
+                                ShardAccum& acc) {
+  const int next = 1 - out;  // just retired; becomes next round's outbox
+  const FaultPlan& plan = options_.faults;
+  if (arena_mode_) {
+    Message* const slots =
+        slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
+    signed char* const stages =
+        stage_slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
+    const int cnt = counts_[out][rs];
+    const int inj = injected_[out][rs];
+    int w = 0;       // survivors compacted to [0, w)
+    int copies = 0;  // duplicate copies staged at [cnt, cnt + copies)
+    for (int i = 0; i < cnt; ++i) {
+      if (i < inj) {
+        // Injected by an earlier round's delay decision: count down its
+        // remaining passes; faults are never re-applied to it.
+        if (stages[i] > 0) {
+          inject_delayed(next, rs, std::move(slots[i]),
+                         static_cast<signed char>(stages[i] - 1));
+          continue;
+        }
+        --acc.injected_delta;  // finally delivered
+        if (w != i) slots[w] = std::move(slots[i]);
+        ++w;
+        continue;
       }
-      mail_[in_][port_owner_[rs]] = 0;
+      const FaultDecision d = fault_decision(plan, r, rs, i);
+      if (d.action == FaultAction::kDrop) {
+        ++acc.dropped;
+        continue;
+      }
+      if (d.action == FaultAction::kDelay) {
+        ++acc.delayed;
+        ++acc.injected_delta;
+        inject_delayed(next, rs, std::move(slots[i]),
+                       static_cast<signed char>(d.delay_rounds - 1));
+        continue;
+      }
+      if (d.action == FaultAction::kDuplicate) {
+        ++acc.duplicated;
+        assert(cnt + copies < slot_cap_);
+        slots[cnt + copies] = slots[i];  // the copy trails every original
+        ++copies;
+      }
+      if (w != i) slots[w] = std::move(slots[i]);
+      ++w;
     }
-    bucket.clear();
+    if (w != cnt) {
+      // Close the gap so the duplicate copies directly follow the
+      // survivors (ranges are disjoint: w + copies <= cnt when w < cnt).
+      for (int j = 0; j < copies; ++j) {
+        slots[w + j] = std::move(slots[cnt + j]);
+      }
+    }
+    counts_[out][rs] = w + copies;
+    injected_[out][rs] = 0;
+  } else {
+    auto& box = boxes_[out][rs];
+    auto& stages = stage_boxes_[out][rs];
+    const int cnt = static_cast<int>(box.size());
+    const int inj = injected_[out][rs];
+    assert(static_cast<int>(stages.size()) == inj);
+    int w = 0;
+    int copies = 0;
+    for (int i = 0; i < cnt; ++i) {
+      if (i < inj) {
+        if (stages[i] > 0) {
+          inject_delayed(next, rs, std::move(box[i]),
+                         static_cast<signed char>(stages[i] - 1));
+          continue;
+        }
+        --acc.injected_delta;
+        if (w != i) box[w] = std::move(box[i]);
+        ++w;
+        continue;
+      }
+      const FaultDecision d = fault_decision(plan, r, rs, i);
+      if (d.action == FaultAction::kDrop) {
+        ++acc.dropped;
+        continue;
+      }
+      if (d.action == FaultAction::kDelay) {
+        ++acc.delayed;
+        ++acc.injected_delta;
+        inject_delayed(next, rs, std::move(box[i]),
+                       static_cast<signed char>(d.delay_rounds - 1));
+        continue;
+      }
+      if (d.action == FaultAction::kDuplicate) {
+        ++acc.duplicated;
+        box.push_back(box[i]);
+        ++copies;
+      }
+      if (w != i) box[w] = std::move(box[i]);
+      ++w;
+    }
+    if (w != cnt) {
+      for (int j = 0; j < copies; ++j) box[w + j] = std::move(box[cnt + j]);
+    }
+    box.resize(w + copies);
+    stages.clear();
+    injected_[out][rs] = 0;
+  }
+}
+
+void Network::inject_delayed(int buf, int rs, Message&& m, signed char stage) {
+  // Called from the delivery phase only, after buffer `buf` was retired and
+  // before any compute-phase send lands in it — so port rs of `buf` holds
+  // injected messages exclusively and the append below keeps the invariant
+  // that they form the slot prefix. The active-bucket append happens at
+  // most once per port per round (0 -> 1 transition) and the buckets are
+  // reserved to their port-count ceiling, so it never allocates.
+  if (arena_mode_) {
+    const int idx = counts_[buf][rs];
+    assert(idx == injected_[buf][rs]);
+    assert(idx < slot_cap_);
+    if (idx == 0) {
+      active_[buf][send_bucket_[reverse_slot_[rs]]].push_back(rs);
+    }
+    const std::size_t at = static_cast<std::size_t>(rs) * slot_cap_ + idx;
+    slab_[buf][at] = std::move(m);
+    stage_slab_[buf][at] = stage;
+    counts_[buf][rs] = idx + 1;
+    injected_[buf][rs] = idx + 1;
+  } else {
+    auto& box = boxes_[buf][rs];
+    if (box.empty()) {
+      active_[buf][send_bucket_[reverse_slot_[rs]]].push_back(rs);
+    }
+    box.push_back(std::move(m));
+    stage_boxes_[buf][rs].push_back(stage);
+    injected_[buf][rs] = static_cast<int>(box.size());
   }
 }
 
@@ -443,7 +667,7 @@ RunStats Network::run_parallel(
     if (!finished_[v]) ++unfinished;
   }
   for (std::int64_t r = 0;; ++r) {
-    if (unfinished == 0) {
+    if (unfinished == 0 && pending_injected_ == 0) {
       stats.rounds = r;
       return stats;
     }
@@ -458,15 +682,22 @@ RunStats Network::run_parallel(
     // and rethrows here; reset_mailboxes() on the next run() clears the
     // partial round, so the Network stays reusable.
     pool_->run([&](int s) { compute_shard(s, r, algorithms); });
-    // Phase two: per receiving shard, account the traffic and retire the
-    // vacated buffer's ports.
-    pool_->run([&](int t) { deliver_shard(t, out); });
+    // Phase two: per receiving shard, retire the vacated buffer's ports,
+    // apply fault decisions, and account the traffic.
+    pool_->run([&](int t) { deliver_shard(t, out, r); });
     int round_max_load = 0;
     for (const ShardAccum& acc : shard_accum_) {
       stats.messages_sent += acc.messages;
       stats.words_sent += acc.words;
       round_max_load = std::max(round_max_load, acc.max_load);
       unfinished += acc.unfinished_delta;
+      if (faults_active_) {
+        stats.messages_dropped += acc.dropped;
+        stats.messages_duplicated += acc.duplicated;
+        stats.messages_delayed += acc.delayed;
+        stats.vertices_crashed += acc.crashed;
+        pending_injected_ += acc.injected_delta;
+      }
     }
     stats.max_edge_load = std::max(stats.max_edge_load, round_max_load);
     in_ = out;

@@ -25,6 +25,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/congest/fault.h"
 #include "src/congest/message.h"
 #include "src/congest/thread_pool.h"
 #include "src/graph/graph.h"
@@ -81,6 +82,11 @@ struct NetworkOptions {
   // (trace != nullptr) always execute serially so per-event trace order,
   // and the recorded trace fixtures, stay byte-identical.
   int num_threads = 1;
+  // Deterministic fault injection (DESIGN.md §12). Disabled by default
+  // (faults.enabled() == false): the run loop takes the exact fault-free
+  // path. Fault schedules are a pure function of (faults.seed, round, port,
+  // slot) and therefore bit-identical across num_threads values.
+  FaultPlan faults;
 };
 
 struct RunStats {
@@ -90,8 +96,17 @@ struct RunStats {
   // Highest number of messages a single directed edge carried in one round.
   // At most bandwidth_tokens when enforcement is on (a vertex may send
   // fewer tokens than its budget, so equality is not guaranteed);
-  // unbounded when enforcement is off.
+  // unbounded when enforcement is off. Injected duplicates and re-delivered
+  // delayed messages count toward the load of the round they reach the
+  // receiver in, so a faulted run may exceed bandwidth_tokens here.
   int max_edge_load = 0;
+  // Fault-injection outcomes (all zero when NetworkOptions::faults is
+  // disabled). messages_sent/words_sent count what was actually delivered:
+  // dropped traffic is excluded, duplicate copies are included once each.
+  std::int64_t messages_dropped = 0;
+  std::int64_t messages_duplicated = 0;  // extra copies delivered
+  std::int64_t messages_delayed = 0;     // messages chosen for delay
+  std::int64_t vertices_crashed = 0;     // crash events that fired
 };
 
 // Read-only view of the messages delivered on one port this round. Valid
@@ -186,10 +201,41 @@ class Network {
   // and records finished() transitions in the shard's accumulator.
   void compute_shard(int s, std::int64_t r,
                      std::vector<std::unique_ptr<VertexAlgorithm>>& algos);
-  // Parallel round, phase two (after the barrier): accounts buffer `out`
-  // traffic delivered to shard t's vertices and retires shard t's ports of
-  // the buffer being vacated (this round's inboxes, next round's outboxes).
-  void deliver_shard(int t, int out);
+  // Parallel round, phase two (after the barrier): retires shard t's ports
+  // of the buffer being vacated (this round's inboxes, next round's
+  // outboxes), then applies fault decisions for round r and accounts buffer
+  // `out` traffic delivered to shard t's vertices.
+  void deliver_shard(int t, int out, std::int64_t r);
+
+  // Per-shard phase outputs, reduced on the caller thread at the round
+  // barrier; padded so workers never share a cache line. The fault fields
+  // are also used by the serial loop (a stack instance per round) so the
+  // fault hook below is shared verbatim between both run loops.
+  struct alignas(64) ShardAccum {
+    std::int64_t messages = 0;
+    std::int64_t words = 0;
+    int max_load = 0;
+    int unfinished_delta = 0;
+    std::int64_t dropped = 0;
+    std::int64_t duplicated = 0;
+    std::int64_t delayed = 0;
+    std::int64_t crashed = 0;
+    // Net change in messages held back for later delivery: +1 per fresh
+    // delay, -1 per delayed message that finally reached its receiver.
+    std::int64_t injected_delta = 0;
+  };
+
+  // Delivery-phase fault hook (DESIGN.md §12): applies options_.faults to
+  // receiver port rs of buffer `out` for round r — compacting surviving
+  // slots in place, appending duplicate copies, and moving delayed
+  // messages into the opposite buffer (next round's outbox) — then leaves
+  // the port's final delivered count in the mailbox bookkeeping. Runs on
+  // whichever worker owns the receiving shard; every decision is keyed by
+  // (seed, round, port, slot), so the outcome is thread-count independent.
+  void apply_port_faults(int rs, int out, std::int64_t r, ShardAccum& acc);
+  // Moves a delayed message into buffer `buf`'s port rs behind any other
+  // injected messages, with `stage` remaining re-delivery passes.
+  void inject_delayed(int buf, int rs, Message&& m, signed char stage);
 
   const graph::Graph& g_;
   NetworkOptions options_;
@@ -238,15 +284,27 @@ class Network {
   // steady-state appends never allocate.
   std::vector<std::vector<int>> active_[2];
 
-  // Per-shard phase outputs, reduced on the caller thread at the round
-  // barrier; padded so workers never share a cache line.
-  struct alignas(64) ShardAccum {
-    std::int64_t messages = 0;
-    std::int64_t words = 0;
-    int max_load = 0;
-    int unfinished_delta = 0;
-  };
   std::vector<ShardAccum> shard_accum_;
+
+  // Fault injection (DESIGN.md §12). All empty/false when
+  // options_.faults.enabled() is false — the hot paths below check the
+  // cached flag before touching any of it.
+  bool faults_active_ = false;
+  // Per vertex: first round it no longer executes (int64 max = never).
+  std::vector<std::int64_t> crash_round_;
+  // The first injected_[b][gp] slots of port gp in buffer b hold delayed
+  // messages placed there by the fault hook; fresh sends append after them
+  // and the bandwidth budget applies to the fresh suffix only.
+  std::vector<int> injected_[2];
+  // Remaining re-delivery passes of each injected slot. Arena mode keeps a
+  // slab parallel to slab_ (entry rs * slot_cap_ + i); fallback mode keeps
+  // one vector per port whose length is exactly the injected prefix.
+  std::vector<signed char> stage_slab_[2];
+  std::vector<std::vector<signed char>> stage_boxes_[2];
+  // Delayed messages currently in transit. The run loop keeps executing
+  // rounds while this is nonzero so a delayed message cannot be silently
+  // discarded by every vertex reporting finished before it lands.
+  std::int64_t pending_injected_ = 0;
 
   // Traced delivery replays ports in sender order; entries pack
   // (sender port << 32) | receiver port so the per-round sort is a plain

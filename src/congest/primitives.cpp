@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <random>
+#include <set>
 
 #include "src/congest/trace.h"
+#include "src/graph/splitmix.h"
 
 namespace ecd::congest {
 
@@ -281,6 +284,215 @@ class WalkAlgo final : public VertexAlgorithm {
   std::vector<TokenTrace>* traces_;
   bool started_ = false;
   bool sent_ = false;
+  std::deque<Token> held_;
+  std::vector<Token> absorbed_;
+};
+
+// --- Reliable random-walk gather (DESIGN.md §12) ---------------------------------
+
+// WalkAlgo hardened against message faults. Token hops carry a per-token
+// sequence number packed into the routing word (id | seq << 44 — token ids
+// stay well under 2^44 and a hop count under 2^19 keeps the word positive);
+// receivers ack every copy they see and accept each (id, seq) once, senders
+// retransmit un-acked hops on the same port after a timeout. Past the
+// `deadline` round a vertex goes silent (still ingesting mail) so the run
+// terminates even when a crashed leader makes delivery impossible; the
+// host's epoch loop then re-elects and re-seeds.
+class ReliableWalkAlgo final : public VertexAlgorithm {
+ public:
+  static constexpr int kSeqShift = 44;
+  static constexpr std::int64_t kIdMask = (std::int64_t{1} << kSeqShift) - 1;
+
+  struct Token {
+    std::int64_t id = -1;
+    std::int64_t next_seq = 0;  // sequence number of the token's next hop
+    std::vector<std::int64_t> payload;
+  };
+
+  ReliableWalkAlgo(const std::vector<int>* intra,
+                   const std::vector<int>* walk_index, bool is_leader,
+                   std::vector<Token> initial, std::uint64_t seed,
+                   int bandwidth, int timeout, std::int64_t deadline,
+                   std::int64_t base_round, std::vector<TokenTrace>* traces)
+      : intra_(intra),
+        walk_index_(walk_index),
+        is_leader_(is_leader),
+        rng_(seed),
+        bandwidth_(bandwidth),
+        timeout_(timeout),
+        deadline_(deadline),
+        base_round_(base_round),
+        traces_(traces),
+        ack_queue_(intra->size()) {
+    for (auto& t : initial) held_.push_back(std::move(t));
+  }
+
+  void round(Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    const int ports = static_cast<int>(intra_->size());
+    // Ingest: acks clear pending retransmissions; token messages are acked
+    // unconditionally (the sender may be retrying a hop whose first copy
+    // made it) and accepted once per (id, seq).
+    for (int i = 0; i < ports; ++i) {
+      for (const Message& m : ctx.inbox((*intra_)[i])) {
+        if (m.tag == kTagWalkAck) {
+          for (const std::int64_t packed : m.words) clear_unacked(packed);
+          continue;
+        }
+        const std::int64_t packed = m.words[0];
+        ack_queue_[i].push_back(packed);
+        if (!accepted_.insert(packed).second) continue;  // dup/replay
+        Token t;
+        t.id = packed & kIdMask;
+        t.next_seq = (packed >> kSeqShift) + 1;
+        t.payload.assign(m.words.begin() + 1, m.words.end());
+        if (is_leader_) {
+          absorbed_.push_back(std::move(t));
+        } else {
+          held_.push_back(std::move(t));
+        }
+      }
+    }
+    if (is_leader_ && !held_.empty()) {
+      // A leader's own initial tokens are absorbed on the spot.
+      for (auto& t : held_) absorbed_.push_back(std::move(t));
+      held_.clear();
+    }
+    const std::int64_t r = ctx.round();
+    if (r >= deadline_) {
+      gave_up_ = true;
+      return;  // silent: kept tokens are the host's problem now
+    }
+    if (ports == 0) return;
+    // Per-port budget, spent in priority order: acks, retransmissions,
+    // fresh hops. Acks ride the same intra-cluster edges as the walks.
+    std::vector<int> load(ports, 0);
+    for (int i = 0; i < ports; ++i) {
+      auto& queue = ack_queue_[i];
+      std::size_t consumed = 0;
+      while (consumed < queue.size() && load[i] < bandwidth_) {
+        Message m;
+        m.tag = kTagWalkAck;
+        const std::size_t take = std::min<std::size_t>(
+            queue.size() - consumed, static_cast<std::size_t>(kMaxMessageWords));
+        for (std::size_t k = 0; k < take; ++k) {
+          m.words.push_back(queue[consumed++]);
+        }
+        ++load[i];
+        sent_ = true;
+        ++ack_messages_;
+        ctx.send((*intra_)[i], std::move(m));
+      }
+      queue.erase(queue.begin(),
+                  queue.begin() + static_cast<std::ptrdiff_t>(consumed));
+    }
+    if (is_leader_) return;
+    for (Pending& u : unacked_) {
+      if (r - u.sent_round < timeout_ || load[u.port_index] >= bandwidth_) {
+        continue;
+      }
+      ++load[u.port_index];
+      ++retransmissions_;
+      sent_ = true;
+      u.sent_round = r;
+      ctx.send((*intra_)[u.port_index], token_message(u.packed, u.payload));
+    }
+    // Fresh hops go only to neighbors the host knows were alive at epoch
+    // start (the crash-by-heartbeat assumption of DESIGN.md §12): a hop into
+    // a crashed vertex is never acked and would pin the token in unacked_
+    // for the rest of the epoch.
+    if (held_.empty() || walk_index_->empty()) return;
+    std::uniform_int_distribution<std::size_t> pick(0, walk_index_->size() - 1);
+    std::bernoulli_distribution lazy(0.5);
+    std::deque<Token> keep;
+    while (!held_.empty()) {
+      Token t = std::move(held_.front());
+      held_.pop_front();
+      if (lazy(rng_)) {
+        keep.push_back(std::move(t));
+        continue;
+      }
+      const std::size_t i = static_cast<std::size_t>((*walk_index_)[pick(rng_)]);
+      if (load[i] >= bandwidth_) {
+        keep.push_back(std::move(t));
+        continue;
+      }
+      ++load[i];
+      sent_ = true;
+      const std::int64_t seq = t.next_seq++;
+      const std::int64_t packed = t.id | (seq << kSeqShift);
+      // The hop is recorded once, at first transmission; retransmissions
+      // re-send the identical hop, so the trace stays a faithful record of
+      // the path and reverse_delivery remains routable.
+      TokenTrace& trace = (*traces_)[t.id];
+      trace.visited.push_back(ctx.neighbor((*intra_)[i]));
+      trace.hop_round.push_back(base_round_ + r);
+      ctx.send((*intra_)[i], token_message(packed, t.payload));
+      unacked_.push_back(Pending{packed, std::move(t.payload),
+                                 static_cast<int>(i), r});
+    }
+    held_ = std::move(keep);
+  }
+
+  bool finished() const override {
+    if (!started_ || sent_) return false;
+    if (gave_up_) return true;
+    if (!held_.empty() || !unacked_.empty()) return false;
+    for (const auto& queue : ack_queue_) {
+      if (!queue.empty()) return false;
+    }
+    return true;
+  }
+
+  std::vector<Token>& absorbed() { return absorbed_; }
+  std::int64_t retransmissions() const { return retransmissions_; }
+  std::int64_t ack_messages() const { return ack_messages_; }
+
+ private:
+  struct Pending {
+    std::int64_t packed = -1;
+    std::vector<std::int64_t> payload;
+    int port_index = -1;
+    std::int64_t sent_round = -1;
+  };
+
+  static Message token_message(std::int64_t packed,
+                               const std::vector<std::int64_t>& payload) {
+    Message m;
+    m.tag = kTagWalkToken;
+    m.words.reserve(payload.size() + 1);
+    m.words.push_back(packed);
+    m.words.insert(m.words.end(), payload.begin(), payload.end());
+    return m;
+  }
+
+  void clear_unacked(std::int64_t packed) {
+    for (auto it = unacked_.begin(); it != unacked_.end(); ++it) {
+      if (it->packed == packed) {
+        unacked_.erase(it);
+        return;
+      }
+    }
+  }
+
+  const std::vector<int>* intra_;
+  const std::vector<int>* walk_index_;  // intra indices with live neighbors
+  bool is_leader_;
+  std::mt19937_64 rng_;
+  int bandwidth_;
+  int timeout_;
+  std::int64_t deadline_;
+  std::int64_t base_round_;
+  std::vector<TokenTrace>* traces_;
+  std::vector<std::vector<std::int64_t>> ack_queue_;  // per intra index
+  std::set<std::int64_t> accepted_;
+  std::vector<Pending> unacked_;
+  bool started_ = false;
+  bool sent_ = false;
+  bool gave_up_ = false;
+  std::int64_t retransmissions_ = 0;
+  std::int64_t ack_messages_ = 0;
   std::deque<Token> held_;
   std::vector<Token> absorbed_;
 };
@@ -620,6 +832,238 @@ GatherResult random_walk_gather(const Graph& g,
     }
   }
   result.complete = (received == expected);
+  return result;
+}
+
+ReliableGatherResult reliable_walk_gather(
+    const Graph& g, const std::vector<int>& cluster_of,
+    const std::vector<VertexId>& leader_of,
+    const std::vector<std::vector<GatherToken>>& tokens,
+    const ReliableGatherOptions& options) {
+  TRACE_SPAN(options.net.trace, "fault:reliable_gather");
+  const auto intra = intra_cluster_ports(g, cluster_of);
+  const int n = g.num_vertices();
+  const FaultPlan& base_plan = options.net.faults;
+  const int delay_span =
+      base_plan.delay_probability > 0.0 ? base_plan.max_delay_rounds : 0;
+  const int timeout =
+      options.ack_timeout > 0 ? options.ack_timeout : 4 + 2 * delay_span;
+
+  ReliableGatherResult result;
+  GatherResult& gather = result.gather;
+
+  // Host-side token table: the authoritative record of where every token
+  // is. Tokens in flight or stranded when an epoch ends are re-seeded at
+  // their origins; only an absorption at a live leader is durable.
+  struct TokenState {
+    VertexId origin = kInvalidVertex;
+    std::vector<std::int64_t> payload;
+    VertexId absorbed_by = kInvalidVertex;
+  };
+  std::vector<TokenState> toks;
+  for (VertexId v = 0; v < n; ++v) {
+    for (const GatherToken& t : tokens[v]) {
+      TokenState ts;
+      ts.origin = v;
+      ts.payload = t.payload;
+      toks.push_back(std::move(ts));
+      TokenTrace trace;
+      trace.origin = v;
+      trace.cluster = cluster_of[v];
+      trace.visited = {v};
+      gather.traces.push_back(std::move(trace));
+    }
+  }
+
+  std::vector<std::int64_t> crash_round(
+      n, std::numeric_limits<std::int64_t>::max());
+  for (const CrashEvent& c : base_plan.crashes) {
+    crash_round[c.vertex] = std::min(crash_round[c.vertex], c.round);
+  }
+  // Epoch-relative view of the plan's crash schedule at cumulative round
+  // `base`: already-fired crashes become round-0 crashes.
+  const auto relative_crashes = [&](std::int64_t base) {
+    std::vector<CrashEvent> out;
+    for (const CrashEvent& c : base_plan.crashes) {
+      out.push_back(CrashEvent{c.vertex, std::max<std::int64_t>(
+                                             0, c.round - base)});
+    }
+    return out;
+  };
+  const auto add_stats = [&](const RunStats& s) {
+    gather.stats.rounds += s.rounds;
+    gather.stats.messages_sent += s.messages_sent;
+    gather.stats.words_sent += s.words_sent;
+    gather.stats.max_edge_load =
+        std::max(gather.stats.max_edge_load, s.max_edge_load);
+    gather.stats.messages_dropped += s.messages_dropped;
+    gather.stats.messages_duplicated += s.messages_duplicated;
+    gather.stats.messages_delayed += s.messages_delayed;
+    gather.stats.vertices_crashed += s.vertices_crashed;
+  };
+
+  result.final_leader_of = leader_of;
+  std::int64_t base_round = 0;
+  bool all_absorbed = toks.empty();
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    // An absorption only survives while its leader does: a leader that has
+    // crash-stopped by now takes its gathered payloads down with it.
+    all_absorbed = true;
+    for (std::size_t id = 0; id < toks.size(); ++id) {
+      TokenState& ts = toks[id];
+      if (ts.absorbed_by != kInvalidVertex &&
+          crash_round[ts.absorbed_by] <= base_round) {
+        ts.absorbed_by = kInvalidVertex;
+      }
+      if (ts.absorbed_by == kInvalidVertex) {
+        if (crash_round[ts.origin] <= base_round) continue;  // orphaned
+        all_absorbed = false;
+        if (epoch > 0) {
+          // Re-seed at the origin: whatever partial path the token walked
+          // last epoch is void, and its trace restarts with it. A token
+          // whose origin itself crash-stopped is orphaned instead — no live
+          // vertex is responsible for re-introducing it, so it drops out of
+          // the completeness contract rather than wedging it.
+          gather.traces[id].visited = {ts.origin};
+          gather.traces[id].hop_round.clear();
+        }
+      }
+    }
+    if (all_absorbed) break;
+
+    // Re-elect when any current leader is dead (always re-check after the
+    // first epoch: give-ups mean some cluster made no progress). Election
+    // traffic is modeled crash-accurately but message-reliable — the §12
+    // determinism contract treats the control plane as reliable, which is
+    // also what keeps the election's own convergence guarantee intact.
+    bool leader_dead = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (result.final_leader_of[v] == v && crash_round[v] <= base_round) {
+        leader_dead = true;
+        break;
+      }
+    }
+    if (leader_dead) {
+      TRACE_SPAN(options.net.trace, "fault:reelect");
+      NetworkOptions eopt = options.net;
+      eopt.faults = FaultPlan{};
+      eopt.faults.crashes = relative_crashes(base_round);
+      const LeaderElectionResult elect =
+          elect_cluster_leaders(g, cluster_of, eopt);
+      result.final_leader_of = elect.leader_of;
+      add_stats(elect.stats);
+      base_round += elect.stats.rounds;
+      ++result.reelections;
+    }
+
+    TRACE_SPAN(options.net.trace, "fault:epoch");
+    NetworkOptions nopt = options.net;
+    FaultPlan& plan = nopt.faults;
+    plan.seed = epoch == 0 ? base_plan.seed
+                           : graph::splitmix64(base_plan.seed + epoch);
+    plan.crashes = relative_crashes(base_round);
+    if (base_plan.first_faulty_round > 0 ||
+        base_plan.last_faulty_round !=
+            std::numeric_limits<std::int64_t>::max()) {
+      plan.first_faulty_round =
+          std::max<std::int64_t>(0, base_plan.first_faulty_round - base_round);
+      plan.last_faulty_round =
+          base_plan.last_faulty_round ==
+                  std::numeric_limits<std::int64_t>::max()
+              ? base_plan.last_faulty_round
+              : base_plan.last_faulty_round - base_round;
+      if (plan.last_faulty_round < 0) {
+        plan.first_faulty_round = 1;  // window already closed: no faults
+        plan.last_faulty_round = 0;
+      }
+    }
+    // The give-up deadline bounds the run: after it nobody sends, so the
+    // network drains within the residual delay span.
+    nopt.max_rounds = options.epoch_rounds + delay_span + 8;
+
+    // Fresh hops avoid neighbors known dead at epoch start (crashes the
+    // plan has already fired — the heartbeat failure-detector assumption):
+    // a hop into a crashed vertex is never acked, so without this a token
+    // re-enters the dead port every epoch and never converges.
+    std::vector<std::vector<int>> walk_index(n);
+    for (VertexId v = 0; v < n; ++v) {
+      const auto nbrs = g.neighbors(v);
+      walk_index[v].reserve(intra[v].size());
+      for (std::size_t i = 0; i < intra[v].size(); ++i) {
+        if (crash_round[nbrs[intra[v][i]]] > base_round) {
+          walk_index[v].push_back(static_cast<int>(i));
+        }
+      }
+    }
+    std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+    std::vector<ReliableWalkAlgo*> typed(n);
+    std::vector<std::vector<ReliableWalkAlgo::Token>> initial(n);
+    for (std::size_t id = 0; id < toks.size(); ++id) {
+      if (toks[id].absorbed_by != kInvalidVertex) continue;
+      if (crash_round[toks[id].origin] <= base_round) continue;  // orphaned
+      ReliableWalkAlgo::Token t;
+      t.id = static_cast<std::int64_t>(id);
+      t.payload = toks[id].payload;
+      initial[toks[id].origin].push_back(std::move(t));
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      auto a = std::make_unique<ReliableWalkAlgo>(
+          &intra[v], &walk_index[v], result.final_leader_of[v] == v,
+          std::move(initial[v]),
+          graph::splitmix64(graph::splitmix64(options.seed + epoch) ^
+                            (0x9e3779b97f4a7c15ULL * (v + 1))),
+          options.net.bandwidth_tokens, timeout, options.epoch_rounds,
+          base_round, &gather.traces);
+      typed[v] = a.get();
+      algos.push_back(std::move(a));
+    }
+    Network network(g, nopt);
+    const RunStats stats = network.run(algos);
+    add_stats(stats);
+    base_round += stats.rounds;
+    ++result.epochs;
+    for (VertexId v = 0; v < n; ++v) {
+      result.retransmissions += typed[v]->retransmissions();
+      result.ack_messages += typed[v]->ack_messages();
+      for (ReliableWalkAlgo::Token& t : typed[v]->absorbed()) {
+        toks[t.id].absorbed_by = v;
+        toks[t.id].payload = std::move(t.payload);
+      }
+    }
+    if (epoch + 1 == options.max_epochs) {
+      // Last epoch ran without a trailing boundary check: apply it here so
+      // `complete` means what it says.
+      all_absorbed = true;
+      for (TokenState& ts : toks) {
+        const bool delivered = ts.absorbed_by != kInvalidVertex &&
+                               crash_round[ts.absorbed_by] > base_round;
+        if (delivered || crash_round[ts.origin] <= base_round) continue;
+        all_absorbed = false;
+        break;
+      }
+    }
+  }
+  // An absorption at a leader that has crashed by the end of the run is
+  // lost with the leader; never report it as delivered.
+  for (TokenState& ts : toks) {
+    if (ts.absorbed_by != kInvalidVertex &&
+        crash_round[ts.absorbed_by] <= base_round) {
+      ts.absorbed_by = kInvalidVertex;
+    }
+  }
+
+  int num_clusters = 0;
+  for (int c : cluster_of) num_clusters = std::max(num_clusters, c + 1);
+  gather.delivered.resize(num_clusters);
+  gather.delivered_ids.resize(num_clusters);
+  for (std::size_t id = 0; id < toks.size(); ++id) {
+    TokenState& ts = toks[id];
+    if (ts.absorbed_by == kInvalidVertex) continue;
+    const int c = cluster_of[ts.origin];
+    gather.delivered_ids[c].push_back(static_cast<std::int64_t>(id));
+    gather.delivered[c].push_back(std::move(ts.payload));
+  }
+  gather.complete = all_absorbed;
   return result;
 }
 

@@ -101,6 +101,54 @@ GatherResult random_walk_gather(const graph::Graph& g,
                                 const std::vector<std::vector<GatherToken>>& tokens,
                                 const GatherOptions& options = {});
 
+// --- Reliable random-walk gather under faults (DESIGN.md §12) -------------------
+
+struct ReliableGatherOptions {
+  // net.faults carries the fault plan; crash rounds are interpreted on the
+  // gather's own cumulative round timeline (re-election rounds included).
+  NetworkOptions net;
+  std::uint64_t seed = 1;
+  // Rounds per epoch before walkers give up, after which the host checks
+  // progress, re-elects leaders for clusters whose leader crash-stopped,
+  // and re-seeds undelivered tokens at their origins.
+  int epoch_rounds = 512;
+  int max_epochs = 8;
+  // Rounds a sender waits for an ack before retransmitting on the same
+  // port; 0 derives 4 + 2 * max_delay_rounds from the fault plan.
+  int ack_timeout = 0;
+};
+
+struct ReliableGatherResult {
+  // Same shape as random_walk_gather's result; stats accumulate over all
+  // epochs and re-elections. complete == true iff every non-orphaned token
+  // was absorbed by a leader that was still alive at the last epoch
+  // boundary. A token is orphaned when its origin crash-stops before
+  // delivery: no live vertex can re-introduce it, so it drops out of the
+  // completeness contract (and out of `delivered`) instead of wedging it.
+  GatherResult gather;
+  std::int64_t retransmissions = 0;  // token re-sends after ack timeout
+  std::int64_t ack_messages = 0;     // ack messages sent (batched)
+  int epochs = 0;
+  int reelections = 0;
+  // Leaders in effect when the gather finished (differs from the input
+  // when a crash forced re-election).
+  std::vector<graph::VertexId> final_leader_of;
+};
+
+// random_walk_gather hardened against the fault layer: every token hop
+// carries a per-token sequence number, receivers acknowledge (acks batched,
+// kMaxMessageWords ids per message) and deduplicate on (token, seq), and
+// senders retransmit unacknowledged hops on the same port — so drops,
+// duplicates, and delays cannot lose or double-deliver a token, and the
+// recorded traces stay valid for reverse_delivery. Crash-stopped leaders
+// are replaced by host-orchestrated re-election between epochs; tokens
+// stranded at crashed or given-up walkers restart from their origins.
+ReliableGatherResult reliable_walk_gather(
+    const graph::Graph& g, const std::vector<int>& cluster_of,
+    const std::vector<graph::VertexId>& leader_of,
+    const std::vector<std::vector<GatherToken>>& tokens,
+    const ReliableGatherOptions& options = {});
+
 // --- Leader broadcast -----------------------------------------------------------
 
 struct BroadcastResult {

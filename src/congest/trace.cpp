@@ -19,6 +19,7 @@ const char* tag_name(int tag) {
     case kTagConvergecast: return "convergecast";
     case kTagDiameter: return "diameter";
     case kTagTreeToken: return "tree_token";
+    case kTagWalkAck: return "walk_ack";
     default: return tag >= kTagUserBase ? "user" : "?";
   }
 }

@@ -9,6 +9,7 @@
 #include "src/expander/distributed_decomposition.h"
 #include "src/expander/weighted.h"
 #include "src/graph/metrics.h"
+#include "src/graph/splitmix.h"
 
 namespace ecd::core {
 
@@ -84,7 +85,10 @@ Partition partition_and_gather(const Graph& g, double eps,
 
   expander::DecompositionOptions dopt = options.decomposition;
   dopt.deterministic = options.deterministic;
-  dopt.seed ^= options.seed * 0x9e3779b97f4a7c15ULL;
+  // Per-phase sub-seeds are splitmix-derived with distinct phase tags:
+  // the old multiplicative mixes left the decomposition and gather streams
+  // trivially correlated across nearby user seeds (seed=1 reuse).
+  dopt.seed = graph::splitmix64(dopt.seed ^ graph::splitmix64(options.seed));
   {
     TRACE_SPAN(options.trace, "phase:decomposition");
     if (options.decomposition_mode == DecompositionMode::kDistributed) {
@@ -165,21 +169,45 @@ Partition partition_and_gather(const Graph& g, double eps,
     }
   }
   GatherOptions gopt;
-  gopt.seed = options.seed * 0x2545F4914F6CDD1DULL + 1;
+  gopt.seed = graph::splitmix64(options.seed ^ 0x2545F4914F6CDD1DULL);
   gopt.net.trace = options.trace;
   gopt.net.bandwidth_tokens =
       options.walk_bandwidth > 0
           ? options.walk_bandwidth
           : std::max(1, static_cast<int>(std::ceil(std::log2(std::max(2, n)))));
-  {
+  if (options.reliable_gather || options.faults.enabled()) {
+    congest::ReliableGatherOptions ropt;
+    ropt.net = gopt.net;
+    ropt.net.faults = options.faults;
+    ropt.seed = gopt.seed;
+    ropt.epoch_rounds = options.gather_epoch_rounds;
+    ropt.max_epochs = options.gather_max_epochs;
+    TRACE_SPAN(options.trace, "phase:gather");
+    congest::ReliableGatherResult reliable = congest::reliable_walk_gather(
+        g, cluster_of, out.leader_of, tokens, ropt);
+    out.gather = std::move(reliable.gather);
+    out.gather_retransmissions = reliable.retransmissions;
+    out.gather_epochs = reliable.epochs;
+    out.gather_reelections = reliable.reelections;
+    // Crash-forced re-elections replace leaders mid-gather; downstream
+    // phases (reconstruction, reversed delivery) must see the survivors.
+    // Crashed vertices report no leader (-1) and keep their original entry.
+    for (VertexId v = 0; v < n; ++v) {
+      if (reliable.final_leader_of[v] >= 0) {
+        out.leader_of[v] = reliable.final_leader_of[v];
+      }
+    }
+    out.ledger.add_measured("topology gather (reliable walks, §12)",
+                            out.gather.stats);
+  } else {
     TRACE_SPAN(options.trace, "phase:gather");
     out.gather = congest::random_walk_gather(g, cluster_of, out.leader_of,
                                              tokens, gopt);
+    out.ledger.add_measured("topology gather (Lemma 2.4 random walks)",
+                            out.gather.stats);
   }
   const auto& gather = out.gather;
   out.gather_complete = gather.complete;
-  out.ledger.add_measured("topology gather (Lemma 2.4 random walks)",
-                          gather.stats);
 
   // Leader-side reconstruction.
   TRACE_SPAN(options.trace, "phase:reconstruct");

@@ -59,6 +59,18 @@ struct FrameworkOptions {
   // inside, and every simulator round/edge/message event is reported. Null:
   // zero overhead.
   congest::TraceSink* trace = nullptr;
+  // --- Fault tolerance (DESIGN.md §12) ------------------------------------
+  // Fault plan applied to the gather phase (the data plane); crash rounds
+  // are interpreted on the gather's own round timeline. Control phases
+  // (election, orientation) stay message-reliable — the §12 control-plane
+  // assumption. An enabled plan implies `reliable_gather`.
+  congest::FaultPlan faults;
+  // Route the walk phase through reliable_walk_gather (per-token sequence
+  // numbers, ack/retransmit, crash-stop leader re-election) even with an
+  // empty fault plan.
+  bool reliable_gather = false;
+  int gather_epoch_rounds = 512;
+  int gather_max_epochs = 8;
 };
 
 struct Cluster {
@@ -76,6 +88,10 @@ struct Partition {
   std::vector<Cluster> clusters;
   congest::RoundLedger ledger;
   bool gather_complete = false;
+  // Reliable-gather diagnostics (zero unless the faulted path ran).
+  std::int64_t gather_retransmissions = 0;
+  int gather_epochs = 0;
+  int gather_reelections = 0;
   double eps_effective = 0.0;  // the ε' actually passed to the decomposition
   // Forward gather traces (token paths) kept for the reversed delivery,
   // and the id of each vertex's registration ("hello") token.

@@ -7,6 +7,7 @@
 
 #include "src/expander/conductance.h"
 #include "src/expander/sweep_cut.h"
+#include "src/graph/splitmix.h"
 #include "src/graph/metrics.h"
 #include "src/graph/subgraph.h"
 
@@ -102,7 +103,10 @@ Attempt decompose_with_phi(const Graph& g, double phi,
     } else {
       cut = spectral_cut(sub.graph, options.spectral_iterations, cut_seed,
                          options.deterministic ? 1 : options.spectral_restarts);
-      if (!options.deterministic) cut_seed += 104729;
+      // Chain per-piece sub-seeds through splitmix64 (the canonical
+      // splitmix stream) instead of += 104729, which reused streams across
+      // nearby user seeds and pieces.
+      if (!options.deterministic) cut_seed = graph::splitmix64(cut_seed);
     }
     if (cut.valid && cut.conductance < phi) {
       std::vector<VertexId> left, right;

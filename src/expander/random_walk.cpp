@@ -35,7 +35,8 @@ std::vector<double> lazy_walk_distribution(const Graph& g, VertexId source,
   return p;
 }
 
-int mixing_time_from(const Graph& g, VertexId source, int max_steps) {
+std::optional<int> mixing_time_from(const Graph& g, VertexId source,
+                                    int max_steps) {
   const int n = g.num_vertices();
   const auto pi = stationary_distribution(g);
   std::vector<double> p(n, 0.0), next(n, 0.0);
@@ -57,23 +58,27 @@ int mixing_time_from(const Graph& g, VertexId source, int max_steps) {
     p.swap(next);
     if (mixed()) return t;
   }
-  return max_steps + 1;
+  return std::nullopt;
 }
 
-int mixing_time_estimate(const Graph& g, int max_steps, int extra_sources) {
+std::optional<int> mixing_time_estimate(const Graph& g, int max_steps,
+                                        int extra_sources) {
   const int n = g.num_vertices();
   if (n == 0) return 0;
   VertexId min_deg_vertex = 0;
   for (VertexId v = 0; v < n; ++v) {
     if (g.degree(v) < g.degree(min_deg_vertex)) min_deg_vertex = v;
   }
-  int worst = mixing_time_from(g, min_deg_vertex, max_steps);
+  std::optional<int> worst = mixing_time_from(g, min_deg_vertex, max_steps);
+  if (!worst) return std::nullopt;
   for (int i = 0; i < extra_sources; ++i) {
     const VertexId src =
         static_cast<VertexId>((static_cast<std::int64_t>(i + 1) * n) /
                               (extra_sources + 1)) %
         n;
-    worst = std::max(worst, mixing_time_from(g, src, max_steps));
+    const std::optional<int> t = mixing_time_from(g, src, max_steps);
+    if (!t) return std::nullopt;
+    worst = std::max(*worst, *t);
   }
   return worst;
 }

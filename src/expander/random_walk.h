@@ -5,6 +5,7 @@
 // the paper's mixing time τ_mix(G) = min { t : |p_t^v(u) − π(u)| <= π(u)/n }.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -19,13 +20,16 @@ std::vector<double> lazy_walk_distribution(const graph::Graph& g,
                                            graph::VertexId source, int steps);
 
 // Smallest t <= max_steps with the paper's pointwise guarantee from
-// `source`; returns max_steps + 1 if not mixed by then.
-int mixing_time_from(const graph::Graph& g, graph::VertexId source,
-                     int max_steps);
+// `source`; nullopt if not mixed by then. (Formerly the sentinel
+// max_steps + 1, which a caller could silently consume as a real — and
+// wildly wrong — mixing time.)
+std::optional<int> mixing_time_from(const graph::Graph& g,
+                                    graph::VertexId source, int max_steps);
 
 // Max of mixing_time_from over a sample of sources (includes a
-// minimum-degree vertex, typically the slowest to mix).
-int mixing_time_estimate(const graph::Graph& g, int max_steps,
-                         int extra_sources = 2);
+// minimum-degree vertex, typically the slowest to mix); nullopt if any
+// sampled source fails to mix within max_steps.
+std::optional<int> mixing_time_estimate(const graph::Graph& g, int max_steps,
+                                        int extra_sources = 2);
 
 }  // namespace ecd::expander

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <random>
 
+#include "src/graph/splitmix.h"
+
 namespace ecd::expander {
 
 using graph::Graph;
@@ -106,7 +108,14 @@ SweepResult spectral_cut(const Graph& g, int iterations, std::uint64_t seed,
                          int restarts) {
   SweepResult best;
   for (int r = 0; r < restarts; ++r) {
-    const auto emb = fiedler_embedding(g, iterations, seed + 7919 * r);
+    // Per-restart sub-seeds are splitmix-derived, not small additive
+    // offsets: seed + 7919·r made nearby user seeds share restart streams
+    // (seed 1 restart 1 == seed 7920 restart 0) and fed mt19937_64 with
+    // correlated state.
+    const auto emb = fiedler_embedding(
+        g, iterations,
+        graph::splitmix64(seed + 0x9e3779b97f4a7c15ULL *
+                                     static_cast<std::uint64_t>(r)));
     const auto cut = sweep_cut(g, emb);
     if (cut.valid && (!best.valid || cut.conductance < best.conductance)) {
       best = cut;

@@ -1,0 +1,30 @@
+// splitmix64 — the seed-derivation step used everywhere a component needs an
+// independent random stream derived from a user-facing seed (fault draws,
+// spectral restart seeds, framework phase seeds).
+//
+// Derived streams must not be related by small arithmetic offsets: mt19937_64
+// seeded with `s` and `s + k` produces correlated early output, and the
+// CONGEST fault layer additionally needs a *stateless* per-(round, edge,
+// slot) draw that is identical no matter which thread evaluates it.
+// splitmix64 is a full-avalanche mixer (every input bit flips ~half the
+// output bits), so seed ^ counter inputs yield independent-looking streams,
+// and it is constexpr-evaluable and allocation-free.
+#pragma once
+
+#include <cstdint>
+
+namespace ecd::graph {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from a hash value (53 mantissa bits).
+constexpr double splitmix_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace ecd::graph

@@ -39,6 +39,30 @@ TEST(LubyMis, OutputIsMaximalIndependentSet) {
   }
 }
 
+// Regression: phase parity used to be keyed on the global round number
+// (ctx.round() % 2), so starting the protocol at an odd round offset — as
+// happens when the MIS is composed behind another phase — swapped the
+// exchange and decision half-phases and produced a non-independent "MIS".
+TEST(LubyMis, OddRoundOffsetStillYieldsMaximalIndependentSet) {
+  Rng rng(9);
+  Graph g = graph::random_maximal_planar(100, rng);
+  for (const int prelude : {1, 3}) {
+    SCOPED_TRACE(prelude);
+    const auto r = luby_mis(g, 41, {}, prelude);
+    ASSERT_TRUE(seq::is_independent_set(g, r.independent_set));
+    std::vector<bool> covered(g.num_vertices(), false);
+    for (VertexId v : r.independent_set) {
+      covered[v] = true;
+      for (VertexId u : g.neighbors(v)) covered[u] = true;
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_TRUE(covered[v]) << "vertex " << v;
+    }
+    // Same seed, no prelude: the protocol's outcome is offset-invariant.
+    EXPECT_EQ(r.independent_set, luby_mis(g, 41).independent_set);
+  }
+}
+
 TEST(LubyMis, PhasesLogarithmic) {
   Rng rng(2);
   Graph g = graph::random_maximal_planar(2000, rng);

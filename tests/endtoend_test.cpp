@@ -32,21 +32,17 @@ TEST(EndToEnd, StrictUnitBandwidthStillCompletes) {
   }
   EXPECT_EQ(covered, g.num_vertices());
 
+  // The strict run must have respected its budget: at most one walk token
+  // per directed edge per round ever crossed. (No round-count comparison
+  // against the batched configuration — wall rounds are dominated by walk
+  // trajectories, not queueing, so that ordering is seed noise.)
+  EXPECT_LE(p.gather.stats.max_edge_load, 1);
+  EXPECT_GT(p.gather.stats.rounds, 0);
+
   FrameworkOptions batched;
   batched.walk_bandwidth = 0;  // ceil(log2 n)
   const auto pb = partition_and_gather(g, 0.3, batched);
-  std::int64_t rounds_strict = 0, rounds_batched = 0;
-  for (const auto& e : p.ledger.entries()) {
-    if (e.measured && e.label.starts_with("topology gather")) {
-      rounds_strict = e.rounds;
-    }
-  }
-  for (const auto& e : pb.ledger.entries()) {
-    if (e.measured && e.label.starts_with("topology gather")) {
-      rounds_batched = e.rounds;
-    }
-  }
-  EXPECT_GE(rounds_strict, rounds_batched);
+  ASSERT_TRUE(pb.gather_complete);
 }
 
 TEST(EndToEnd, MisDeterministicAcrossRuns) {

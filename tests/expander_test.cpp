@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 
 #include "src/expander/conductance.h"
 #include "src/expander/decomposition.h"
@@ -115,9 +116,19 @@ TEST(RandomWalk, MixingTimeOrdersFamiliesCorrectly) {
   Rng rng(5);
   Graph expander = graph::random_regular(64, 4, rng);
   Graph ring = graph::cycle(64);
-  const int t_exp = mixing_time_estimate(expander, 5000);
-  const int t_ring = mixing_time_estimate(ring, 50000);
-  EXPECT_LT(t_exp * 5, t_ring);
+  const std::optional<int> t_exp = mixing_time_estimate(expander, 5000);
+  const std::optional<int> t_ring = mixing_time_estimate(ring, 50000);
+  ASSERT_TRUE(t_exp.has_value());
+  ASSERT_TRUE(t_ring.has_value());
+  EXPECT_LT(*t_exp * 5, *t_ring);
+}
+
+// Regression: an unmixed walk used to report the sentinel max_steps + 1,
+// which callers could consume as a real (absurdly small) mixing time.
+TEST(RandomWalk, UnmixedWalkReportsNullopt) {
+  Graph ring = graph::cycle(64);
+  EXPECT_FALSE(mixing_time_from(ring, 0, 5).has_value());
+  EXPECT_FALSE(mixing_time_estimate(ring, 5).has_value());
 }
 
 TEST(RandomWalk, MixingTimeVsConductanceBound) {
@@ -129,8 +140,9 @@ TEST(RandomWalk, MixingTimeVsConductanceBound) {
         for (int i = 0; i < 32; ++i) in_s[i] = true;  // half the rows
         return in_s;
       }());
-  const int t = mixing_time_estimate(g, 100000);
-  EXPECT_LE(t, 40.0 * std::log(64.0) / (phi * phi));
+  const std::optional<int> t = mixing_time_estimate(g, 100000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_LE(*t, 40.0 * std::log(64.0) / (phi * phi));
 }
 
 // --- Decomposition contract (the heart of the reproduction) ---------------
