@@ -29,7 +29,7 @@ void BM_WalkBandwidth(benchmark::State& state) {
   }
   std::int64_t gather = 0;
   for (const auto& e : p.ledger.entries()) {
-    if (e.measured && e.label.starts_with("topology gather")) gather = e.rounds;
+    if (e.measured && e.label.starts_with("topology gather")) gather = e.stats.rounds;
   }
   state.SetLabel("A1_walk_bandwidth");
   state.counters["n"] = n;
@@ -168,4 +168,4 @@ BENCHMARK(BM_DecompositionMode)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("ablation");

@@ -72,4 +72,4 @@ BENCHMARK(BM_Correlation)->Apply(CorrelationArgs)->Iterations(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("correlation");

@@ -67,4 +67,4 @@ BENCHMARK(BM_Decomposition)->Apply(DecompositionArgs)->Iterations(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("decomposition");

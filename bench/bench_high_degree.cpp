@@ -69,4 +69,4 @@ BENCHMARK(BM_HighDegree)->Apply(HighDegreeArgs)->Iterations(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("high_degree");

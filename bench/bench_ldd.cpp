@@ -90,4 +90,4 @@ BENCHMARK(CycleLdd)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("ldd");

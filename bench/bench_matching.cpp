@@ -78,4 +78,4 @@ BENCHMARK(BM_Matching)->Apply(MatchingArgs)->Iterations(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("matching");

@@ -69,4 +69,4 @@ BENCHMARK(BM_Mis)->Apply(MisArgs)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("mis");

@@ -73,4 +73,4 @@ BENCHMARK(BM_Mwm)->Apply(MwmArgs)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("mwm");

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/congest/metrics.h"
 #include "src/congest/network.h"
 
 namespace {
@@ -216,10 +217,17 @@ void run_substrate_bench(benchmark::State& state, const graph::Graph& g,
   bench::register_alloc_counter(state, allocs, audit_rounds);
 }
 
+// The trailing `metrics` axis on the flood / ping-pong shapes attaches an
+// always-on MetricsRegistry (DESIGN.md §13); metrics:1 vs metrics:0 on the
+// same (n, threads) row is the E15 overhead measurement, and
+// allocs_per_round must stay ~0 with metrics on — the registry's round
+// path is array arithmetic on buffers preallocated by the Network.
 void BM_Flood(benchmark::State& state) {
   const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
   NetworkOptions opt;
   opt.num_threads = static_cast<int>(state.range(1));
+  congest::MetricsRegistry metrics;
+  if (state.range(2) != 0) opt.metrics = &metrics;
   run_substrate_bench(state, g, opt, [&] {
     std::vector<std::unique_ptr<VertexAlgorithm>> algos;
     algos.reserve(g.num_vertices());
@@ -235,6 +243,8 @@ void BM_PingPong(benchmark::State& state) {
   const int rounds = static_cast<int>(state.range(1));
   NetworkOptions opt;
   opt.num_threads = static_cast<int>(state.range(2));
+  congest::MetricsRegistry metrics;
+  if (state.range(3) != 0) opt.metrics = &metrics;
   run_substrate_bench(state, g, opt, [&] {
     std::vector<std::unique_ptr<VertexAlgorithm>> algos;
     algos.reserve(g.num_vertices());
@@ -297,25 +307,33 @@ void BM_TreeClimb(benchmark::State& state) {
 // per-round work amortizes the barrier, plus one small-n row the CI smoke
 // exercises at 4 threads.
 BENCHMARK(BM_Flood)
-    ->ArgNames({"n", "threads"})
-    ->Args({1024, 1})
-    ->Args({10240, 1})
-    ->Args({102400, 1})
-    ->Args({1024, 4})
-    ->Args({102400, 2})
-    ->Args({102400, 4})
-    ->Args({102400, 8})
+    ->ArgNames({"n", "threads", "metrics"})
+    ->Args({1024, 1, 0})
+    ->Args({10240, 1, 0})
+    ->Args({102400, 1, 0})
+    ->Args({1024, 4, 0})
+    ->Args({102400, 2, 0})
+    ->Args({102400, 4, 0})
+    ->Args({102400, 8, 0})
+    ->Args({1024, 1, 1})
+    ->Args({1024, 4, 1})
+    ->Args({102400, 1, 1})
+    ->Args({102400, 4, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PingPong)
-    ->ArgNames({"n", "rounds", "threads"})
-    ->Args({1024, 64, 1})
-    ->Args({10240, 64, 1})
-    ->Args({102400, 16, 1})
-    ->Args({1024, 64, 4})
-    ->Args({102400, 16, 2})
-    ->Args({102400, 16, 4})
-    ->Args({102400, 16, 8})
+    ->ArgNames({"n", "rounds", "threads", "metrics"})
+    ->Args({1024, 64, 1, 0})
+    ->Args({10240, 64, 1, 0})
+    ->Args({102400, 16, 1, 0})
+    ->Args({1024, 64, 4, 0})
+    ->Args({102400, 16, 2, 0})
+    ->Args({102400, 16, 4, 0})
+    ->Args({102400, 16, 8, 0})
+    ->Args({1024, 64, 1, 1})
+    ->Args({1024, 64, 4, 1})
+    ->Args({102400, 16, 1, 1})
+    ->Args({102400, 16, 4, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FaultyPingPong)
@@ -342,4 +360,4 @@ BENCHMARK(BM_TreeClimb)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("network");

@@ -77,4 +77,4 @@ BENCHMARK(BM_PropertyTesting)->Apply(PropertyArgs)->Iterations(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("property_testing");

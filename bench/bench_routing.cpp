@@ -41,7 +41,7 @@ void BM_Routing(benchmark::State& state) {
   std::int64_t gather_rounds = 0, gather_words = 0;
   for (const auto& e : p.ledger.entries()) {
     if (e.measured && e.label.starts_with("topology gather")) {
-      gather_rounds = e.rounds;
+      gather_rounds = e.stats.rounds;
     }
   }
   (void)gather_words;
@@ -78,7 +78,7 @@ void BM_Routing(benchmark::State& state) {
     const auto audit = core::partition_and_gather(g, 0.3, {});
     allocs = scope.delta();
     for (const auto& e : audit.ledger.entries()) {
-      if (e.measured) alloc_rounds += e.rounds;
+      if (e.measured) alloc_rounds += e.stats.rounds;
     }
   }
   bench::register_alloc_counter(state, allocs, alloc_rounds);
@@ -98,4 +98,4 @@ BENCHMARK(BM_Routing)->Apply(RoutingArgs)->Iterations(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("routing");

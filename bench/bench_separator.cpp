@@ -58,4 +58,4 @@ BENCHMARK(BM_Separator)->Apply(SeparatorArgs)->Iterations(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("separator");

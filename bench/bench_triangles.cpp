@@ -45,4 +45,4 @@ BENCHMARK(BM_Triangles)->Apply(TriangleArgs)->Iterations(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ECD_BENCH_MAIN("triangles");

@@ -8,9 +8,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <new>
+#include <ostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/congest/trace.h"
 #include "src/graph/generators.h"
@@ -110,13 +116,27 @@ inline void register_trace_counters(benchmark::State& state,
 // must live in exactly one translation unit per binary — each bench target
 // is a single .cpp, so defining the macro in that file is safe.
 //
-// Without the macro the counter stays at zero and `AllocScope::delta()`
-// reports 0; `register_alloc_counter` then skips the counter so rows never
-// show a misleading hard zero.
+// The hooked TU also flips a runtime flag at static-initialization time, and
+// `register_alloc_counter` keys off that flag — not the macro — so a binary
+// that compiled the hooks in always reports the counter, and one that did
+// not never shows a misleading hard zero. (The old compile-time gate meant
+// a helper TU built without the macro silently dropped the counter even
+// though the hooks were live in the binary.)
 
 inline std::atomic<std::int64_t>& allocation_counter() {
   static std::atomic<std::int64_t> count{0};
   return count;
+}
+
+// True iff the counting operator new/delete replacements are linked into
+// this binary (set during static initialization of the hooked TU).
+inline std::atomic<bool>& alloc_hooks_flag() {
+  static std::atomic<bool> installed{false};
+  return installed;
+}
+
+inline bool alloc_hooks_installed() {
+  return alloc_hooks_flag().load(std::memory_order_relaxed);
 }
 
 inline std::int64_t allocation_count() {
@@ -134,20 +154,171 @@ class AllocScope {
 };
 
 // Reports `allocs / rounds` as counter `allocs_per_round` (only when the
-// binary compiled the counting hooks in; otherwise every value would read
-// as an impossible 0).
+// binary linked the counting hooks in; otherwise every value would read
+// as an impossible 0). Runtime-gated so the decision is per-binary, not
+// per-TU.
 inline void register_alloc_counter(benchmark::State& state,
                                    std::int64_t allocs, std::int64_t rounds) {
-#if defined(ECD_BENCH_COUNT_ALLOCS) && ECD_BENCH_COUNT_ALLOCS
+  if (!alloc_hooks_installed()) return;
   state.counters["allocs_per_round"] =
       rounds > 0 ? static_cast<double>(allocs) / static_cast<double>(rounds)
                  : 0.0;
-#else
-  (void)state, (void)allocs, (void)rounds;
-#endif
+}
+
+// --- Bench telemetry (JSON snapshots + regression gate) ---------------------
+//
+// Every bench binary built with ECD_BENCH_MAIN(suite) accepts
+//   --ecd_json            write BENCH_<suite>.json to the working directory
+//   --ecd_json=<path>     write to <path>
+// or, when no flag is given, honours the ECD_BENCH_JSON environment
+// variable ("1" = default file name, anything else = output *directory*).
+// The snapshot ("ecd-bench-v1") carries one row per executed benchmark with
+// its finalized user counters — rates are already per-second by the time
+// the reporter sees them — and feeds tools/bench_compare, the CI gate that
+// fails on throughput or allocation regressions against bench/baseline.json.
+
+struct BenchJsonRow {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+  std::map<std::string, double> counters;  // sorted => deterministic JSON
+};
+
+namespace detail {
+
+inline void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+inline void write_json_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace detail
+
+// Console output as usual, plus a row collected per finished benchmark for
+// the JSON snapshot. Aggregate rows (mean/median/stddev of --repetitions)
+// and errored rows are excluded: the gate compares raw per-run rows.
+class JsonBenchReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      BenchJsonRow row;
+      row.name = run.benchmark_name();
+      row.iterations = static_cast<std::int64_t>(run.iterations);
+      if (run.iterations > 0) {
+        row.real_time_ns =
+            run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations);
+        row.cpu_time_ns =
+            run.cpu_accumulated_time * 1e9 / static_cast<double>(run.iterations);
+      }
+      for (const auto& [name, counter] : run.counters) {
+        row.counters[name] = static_cast<double>(counter.value);
+      }
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<BenchJsonRow>& rows() const { return rows_; }
+
+  void write_json(std::ostream& os, std::string_view suite) const {
+    os << "{\"schema\":\"ecd-bench-v1\",\"suite\":\"";
+    detail::write_json_escaped(os, suite);
+    os << "\",\"rows\":[";
+    bool first = true;
+    for (const BenchJsonRow& row : rows_) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"";
+      detail::write_json_escaped(os, row.name);
+      os << "\",\"iterations\":" << row.iterations << ",\"real_time_ns\":";
+      detail::write_json_double(os, row.real_time_ns);
+      os << ",\"cpu_time_ns\":";
+      detail::write_json_double(os, row.cpu_time_ns);
+      os << ",\"counters\":{";
+      bool cfirst = true;
+      for (const auto& [name, value] : row.counters) {
+        if (!cfirst) os << ',';
+        cfirst = false;
+        os << '"';
+        detail::write_json_escaped(os, name);
+        os << "\":";
+        detail::write_json_double(os, value);
+      }
+      os << "}}";
+    }
+    os << "]}\n";
+  }
+
+ private:
+  std::vector<BenchJsonRow> rows_;
+};
+
+// Drop-in replacement for BENCHMARK_MAIN's body: strips the --ecd_json flag
+// (benchmark::Initialize rejects unknown flags), runs the suite through a
+// JsonBenchReporter, and writes the snapshot when requested.
+inline int bench_main(std::string_view suite, int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--ecd_json") {
+      json_path = "BENCH_" + std::string(suite) + ".json";
+    } else if (arg.rfind("--ecd_json=", 0) == 0) {
+      json_path = std::string(arg.substr(std::string_view("--ecd_json=").size()));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);  // argv contract: argv[argc] == nullptr
+  if (json_path.empty()) {
+    if (const char* env = std::getenv("ECD_BENCH_JSON"); env && *env) {
+      const std::string_view value = env;
+      json_path = value == "1"
+                      ? "BENCH_" + std::string(suite) + ".json"
+                      : std::string(value) + "/BENCH_" + std::string(suite) +
+                            ".json";
+    }
+  }
+
+  int bench_argc = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  JsonBenchReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "ecd_bench: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    reporter.write_json(out, suite);
+    std::fprintf(stderr, "ecd_bench: wrote %s (%zu rows)\n", json_path.c_str(),
+                 reporter.rows().size());
+  }
+  return 0;
 }
 
 }  // namespace ecd::bench
+
+// Replaces BENCHMARK_MAIN() in every bench binary; `suite` names the
+// BENCH_<suite>.json snapshot.
+#define ECD_BENCH_MAIN(suite)                              \
+  int main(int argc, char** argv) {                        \
+    return ecd::bench::bench_main(suite, argc, argv);      \
+  }
 
 #if defined(ECD_BENCH_COUNT_ALLOCS) && ECD_BENCH_COUNT_ALLOCS
 // Counting replacements for the global allocation functions. Deliberately
@@ -156,6 +327,13 @@ inline void register_alloc_counter(benchmark::State& state,
 // overloads are left at their defaults — the simulator performs no
 // over-aligned allocations, and missing a hypothetical one only
 // undercounts.
+namespace {
+// Flips the runtime flag register_alloc_counter keys off (see above).
+[[maybe_unused]] const bool ecd_bench_alloc_hooks_registered = [] {
+  ecd::bench::alloc_hooks_flag().store(true, std::memory_order_relaxed);
+  return true;
+}();
+}  // namespace
 void* operator new(std::size_t size) {
   ecd::bench::allocation_counter().fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;

@@ -13,6 +13,11 @@
 //                                            the metrics collector attached;
 //                                            print the per-phase table +
 //                                            hotspot report, write a trace
+//   ecd_cli report --family <f> --n <k>      run the pipeline with the
+//                                            always-on metrics registry
+//                                            (works at any --threads), print
+//                                            the per-phase table, write an
+//                                            ecd-run-report-v1 JSON snapshot
 //
 // options: --eps <x>      proximity/approximation parameter (default 0.2)
 //          --seed <k>     RNG seed (default 1)
@@ -24,6 +29,16 @@
 //                --format chrome|jsonl       trace format (default chrome)
 //                --top <k>                   hotspot edges to print (default 10)
 //
+// report options: --family/--n/--eps/--seed/--distributed as above
+//                 --threads <k>              simulator worker threads
+//                                            (default 1; 0 = hardware)
+//                 --fault-permille <k>       drop k/1000 of gather messages
+//                                            (routes through reliable gather)
+//                 --out <path>               report file (default
+//                                            ecd_report.json)
+//                 --top <k>                  congested edges in the report
+//                                            (default 10)
+//
 // families for `gen`/`trace`: grid, tri, planar, outer, twotree, tree,
 // torus, hypercube, expander.
 #include <cstdio>
@@ -32,6 +47,7 @@
 #include <iostream>
 #include <string>
 
+#include "src/congest/metrics.h"
 #include "src/congest/trace.h"
 #include "src/core/correlation.h"
 #include "src/core/framework.h"
@@ -60,7 +76,8 @@ struct Options {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: ecd_cli <gen|decompose|mis|mcm|mwm|correlate|"
-               "test-planarity|ldd|triangles|trace> ... (see source header)\n");
+               "test-planarity|ldd|triangles|trace|report> ... "
+               "(see source header)\n");
   std::exit(2);
 }
 
@@ -229,6 +246,112 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+int cmd_report(int argc, char** argv) {
+  std::string family = "grid", out_path = "ecd_report.json";
+  int n = 1024, top_k = 10, threads = 1, fault_permille = 0;
+  double eps = 0.2;
+  std::uint64_t seed = 1;
+  bool distributed = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--family" && i + 1 < argc) {
+      family = argv[++i];
+    } else if (arg == "--n" && i + 1 < argc) {
+      n = std::atoi(argv[++i]);
+    } else if (arg == "--eps" && i + 1 < argc) {
+      eps = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--distributed") {
+      distributed = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--fault-permille" && i + 1 < argc) {
+      fault_permille = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_k = std::atoi(argv[++i]);
+    } else {
+      usage();
+    }
+  }
+  ecd::graph::Rng rng(seed);
+  const Graph g = make_family(family, n, rng);
+
+  ecd::congest::MetricsRegistry metrics;
+  ecd::core::FrameworkOptions fopt;
+  fopt.seed = seed;
+  fopt.metrics = &metrics;
+  fopt.num_threads = threads;
+  if (distributed) {
+    fopt.decomposition_mode = ecd::core::DecompositionMode::kDistributed;
+  }
+  if (fault_permille > 0) {
+    fopt.faults.drop_probability = fault_permille / 1000.0;
+    fopt.faults.seed = seed;
+  }
+  auto p = ecd::core::partition_and_gather(g, eps, fopt);
+  std::vector<std::int64_t> answers(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) answers[v] = v;
+  // Host-side reversed replay: rounds are charged to the ledger, not the
+  // simulator, so no metrics phase wraps it.
+  ecd::core::return_results(p, answers, "result return (reversed walks)");
+
+  std::printf("family=%s n=%d m=%d eps=%.3f threads=%d clusters=%d "
+              "gather_complete=%d\n",
+              family.c_str(), g.num_vertices(), g.num_edges(), eps, threads,
+              p.decomposition.num_clusters, p.gather_complete ? 1 : 0);
+  std::printf("%-22s %10s %12s %12s %14s\n", "phase", "rounds", "messages",
+              "words", "max-edge-load");
+  for (const auto& ph : metrics.phases()) {
+    if (ph.depth != 0) continue;
+    std::printf("%-22s %10lld %12lld %12lld %14d\n", ph.name.c_str(),
+                static_cast<long long>(ph.stats.rounds),
+                static_cast<long long>(ph.stats.messages_sent),
+                static_cast<long long>(ph.stats.words_sent),
+                ph.stats.max_edge_load);
+  }
+  const auto& totals = metrics.totals();
+  std::printf("%-22s %10lld %12lld %12lld %14d\n", "total (simulated)",
+              static_cast<long long>(totals.rounds),
+              static_cast<long long>(totals.messages_sent),
+              static_cast<long long>(totals.words_sent),
+              totals.max_edge_load);
+  std::printf("critical path: %lld rounds (longest single run %lld)\n",
+              static_cast<long long>(metrics.critical_path_total()),
+              static_cast<long long>(metrics.critical_path_longest_run()));
+  if (fault_permille > 0) {
+    std::printf("faults: dropped=%lld retransmissions=%lld epochs=%lld\n",
+                static_cast<long long>(totals.messages_dropped),
+                static_cast<long long>(
+                    metrics.counter("gather.retransmissions")->value()),
+                static_cast<long long>(
+                    metrics.counter("gather.epochs")->value()));
+  }
+  std::printf("\nround ledger:\n%s\n", p.ledger.to_string().c_str());
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  ecd::congest::RunReportContext ctx;
+  ctx.title = "partition_and_gather (" + family + ")";
+  ctx.info = {{"family", family},
+              {"n", std::to_string(g.num_vertices())},
+              {"m", std::to_string(g.num_edges())},
+              {"eps", std::to_string(eps)},
+              {"seed", std::to_string(seed)},
+              {"threads", std::to_string(threads)},
+              {"fault_permille", std::to_string(fault_permille)},
+              {"clusters", std::to_string(p.decomposition.num_clusters)}};
+  ctx.top_k_edges = top_k;
+  ecd::congest::write_run_report(out, metrics, ctx);
+  std::printf("wrote %s (ecd-run-report-v1)\n", out_path.c_str());
+  return 0;
+}
+
 int cmd_decompose(const Options& o) {
   const Graph g = load(o.input);
   const auto p = ecd::core::partition_and_gather(g, o.eps, framework_options(o));
@@ -335,6 +458,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "gen") return cmd_gen(argc, argv);
   if (cmd == "trace") return cmd_trace(argc, argv);
+  if (cmd == "report") return cmd_report(argc, argv);
   if (argc < 3) usage();
   const Options o = parse(argc, argv, 2);
   if (cmd == "decompose") return cmd_decompose(o);

@@ -1,0 +1,360 @@
+#include "src/congest/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace ecd::congest {
+
+// --- LogHistogram ------------------------------------------------------------
+
+std::int64_t LogHistogram::bucket_upper_bound(int b) {
+  if (b <= 0) return 0;
+  if (b >= kBuckets - 1) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << b) - 1;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void LogHistogram::clear() {
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+std::int64_t LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the p-th percentile sample, 1-based, nearest-rank method.
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(p / 100.0 * static_cast<double>(count_) +
+                                   0.5));
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      // The top bucket's nominal bound is int64 max; the recorded max is
+      // the honest answer there.
+      return std::min(bucket_upper_bound(b), max_);
+    }
+  }
+  return max_;
+}
+
+// --- MetricsRegistry: instruments -------------------------------------------
+
+MetricsRegistry::Counter* MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return &it->second;
+}
+
+MetricsRegistry::Gauge* MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return &it->second;
+}
+
+LogHistogram* MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+  }
+  return &it->second;
+}
+
+// --- MetricsRegistry: collection hooks --------------------------------------
+
+void MetricsRegistry::begin_run(int num_vertices, int num_edges) {
+  (void)num_vertices, (void)num_edges;
+}
+
+void MetricsRegistry::record_round(const RunStats& round) {
+  const auto accrue = [&](RunStats& stats) {
+    ++stats.rounds;
+    stats.messages_sent += round.messages_sent;
+    stats.words_sent += round.words_sent;
+    stats.max_edge_load = std::max(stats.max_edge_load, round.max_edge_load);
+    stats.messages_dropped += round.messages_dropped;
+    stats.messages_duplicated += round.messages_duplicated;
+    stats.messages_delayed += round.messages_delayed;
+    stats.vertices_crashed += round.vertices_crashed;
+  };
+  accrue(totals_);
+  round_messages_.record(round.messages_sent);
+  round_words_.record(round.words_sent);
+  round_edge_load_.record(round.max_edge_load);
+  for (const std::size_t i : open_) {
+    PhaseMetrics& phase = phases_[i];
+    accrue(phase.stats);
+    phase.round_messages.record(round.messages_sent);
+    phase.round_words.record(round.words_sent);
+    phase.round_edge_load.record(round.max_edge_load);
+  }
+}
+
+void MetricsRegistry::record_tag_slot(int slot, std::int64_t messages,
+                                      std::int64_t words) {
+  tags_[slot].messages += messages;
+  tags_[slot].words += words;
+  for (const std::size_t i : open_) {
+    phases_[i].tags[slot].messages += messages;
+    phases_[i].tags[slot].words += words;
+  }
+}
+
+void MetricsRegistry::record_edge(graph::VertexId from, graph::VertexId to,
+                                  std::int64_t messages, std::int64_t words,
+                                  int peak_load) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(from))
+                             << 32) |
+                            static_cast<std::uint32_t>(to);
+  EdgeLoadStats& e = edges_[key];
+  e.from = from;
+  e.to = to;
+  e.messages += messages;
+  e.words += words;
+  e.peak_load = std::max(e.peak_load, peak_load);
+}
+
+void MetricsRegistry::end_run(const RunStats& run_totals,
+                              std::int64_t critical_path) {
+  (void)run_totals;  // already accrued round by round
+  ++runs_;
+  cp_total_ += critical_path;
+  if (critical_path > cp_longest_) cp_longest_ = critical_path;
+  for (const std::size_t i : open_) {
+    ++phases_[i].runs;
+    phases_[i].critical_path += critical_path;
+  }
+}
+
+// --- MetricsRegistry: phases -------------------------------------------------
+
+void MetricsRegistry::phase_begin(std::string name) {
+  PhaseMetrics phase;
+  phase.name = std::move(name);
+  phase.depth = static_cast<int>(open_.size());
+  open_.push_back(phases_.size());
+  phases_.push_back(std::move(phase));
+}
+
+void MetricsRegistry::phase_end() {
+  if (open_.empty()) return;  // unbalanced end: ignore, don't corrupt
+  phases_[open_.back()].closed = true;
+  open_.pop_back();
+}
+
+// --- MetricsRegistry: snapshots ----------------------------------------------
+
+std::vector<EdgeLoadStats> MetricsRegistry::top_edges(int k) const {
+  std::vector<EdgeLoadStats> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, e] : edges_) out.push_back(e);
+  std::sort(out.begin(), out.end(),
+            [](const EdgeLoadStats& a, const EdgeLoadStats& b) {
+              if (a.messages != b.messages) return a.messages > b.messages;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  if (k >= 0 && static_cast<int>(out.size()) > k) out.resize(k);
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  totals_ = RunStats{};
+  runs_ = 0;
+  cp_total_ = 0;
+  cp_longest_ = 0;
+  round_messages_.clear();
+  round_words_.clear();
+  round_edge_load_.clear();
+  tags_.fill(TagTraffic{});
+  phases_.clear();
+  open_.clear();
+  edges_.clear();
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+void json_escape(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_histogram_json(std::ostream& os, const LogHistogram& h) {
+  os << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+     << ",\"max\":" << h.max() << ",\"buckets\":[";
+  bool first = true;
+  for (int b = 0; b < LogHistogram::kBuckets; ++b) {
+    if (h.bucket_count(b) == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '[' << LogHistogram::bucket_upper_bound(b) << ','
+       << h.bucket_count(b) << ']';
+  }
+  os << "]}";
+}
+
+void write_stats_json(std::ostream& os, const RunStats& s) {
+  os << "{\"rounds\":" << s.rounds << ",\"messages\":" << s.messages_sent
+     << ",\"words\":" << s.words_sent
+     << ",\"max_edge_load\":" << s.max_edge_load
+     << ",\"dropped\":" << s.messages_dropped
+     << ",\"duplicated\":" << s.messages_duplicated
+     << ",\"delayed\":" << s.messages_delayed
+     << ",\"crashed\":" << s.vertices_crashed << '}';
+}
+
+void write_tags_json(std::ostream& os,
+                     const std::array<TagTraffic, kMetricsTagSlots>& tags) {
+  os << '[';
+  bool first = true;
+  for (int slot = 0; slot < kMetricsTagSlots; ++slot) {
+    if (tags[slot].messages == 0 && tags[slot].words == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    const int tag = metrics_slot_tag(slot);
+    os << "{\"id\":" << tag << ",\"name\":";
+    json_escape(os, tag < 0 ? "user_overflow" : tag_name(tag));
+    os << ",\"messages\":" << tags[slot].messages
+       << ",\"words\":" << tags[slot].words << '}';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os, int top_k_edges) const {
+  os << "{\"totals\":";
+  write_stats_json(os, totals_);
+  os << ",\"runs\":" << runs_ << ",\"critical_path\":{\"total\":" << cp_total_
+     << ",\"longest_run\":" << cp_longest_ << '}';
+  os << ",\"round_histograms\":{\"messages\":";
+  write_histogram_json(os, round_messages_);
+  os << ",\"words\":";
+  write_histogram_json(os, round_words_);
+  os << ",\"max_edge_load\":";
+  write_histogram_json(os, round_edge_load_);
+  os << '}';
+  os << ",\"tags\":";
+  write_tags_json(os, tags_);
+  os << ",\"phases\":[";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const PhaseMetrics& p = phases_[i];
+    if (i) os << ',';
+    os << "{\"name\":";
+    json_escape(os, p.name);
+    os << ",\"depth\":" << p.depth << ",\"closed\":"
+       << (p.closed ? "true" : "false") << ",\"runs\":" << p.runs
+       << ",\"critical_path\":" << p.critical_path << ",\"stats\":";
+    write_stats_json(os, p.stats);
+    os << ",\"round_histograms\":{\"messages\":";
+    write_histogram_json(os, p.round_messages);
+    os << ",\"words\":";
+    write_histogram_json(os, p.round_words);
+    os << ",\"max_edge_load\":";
+    write_histogram_json(os, p.round_edge_load);
+    os << "},\"tags\":";
+    write_tags_json(os, p.tags);
+    os << '}';
+  }
+  os << ']';
+  os << ",\"top_edges\":[";
+  const auto edges = top_edges(top_k_edges);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const EdgeLoadStats& e = edges[i];
+    if (i) os << ',';
+    os << "{\"from\":" << e.from << ",\"to\":" << e.to
+       << ",\"messages\":" << e.messages << ",\"words\":" << e.words
+       << ",\"peak_load\":" << e.peak_load << '}';
+  }
+  os << "],\"total_edges_observed\":" << edges_.size();
+  os << ",\"counters\":{";
+  {
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      if (!first) os << ',';
+      first = false;
+      json_escape(os, name);
+      os << ':' << c.value();
+    }
+  }
+  os << "},\"gauges\":{";
+  {
+    bool first = true;
+    for (const auto& [name, g] : gauges_) {
+      if (!first) os << ',';
+      first = false;
+      json_escape(os, name);
+      os << ":{\"value\":" << g.value() << ",\"max\":" << g.max() << '}';
+    }
+  }
+  os << "},\"histograms\":{";
+  {
+    bool first = true;
+    for (const auto& [name, h] : histograms_) {
+      if (!first) os << ',';
+      first = false;
+      json_escape(os, name);
+      os << ':';
+      write_histogram_json(os, h);
+    }
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::to_json(int top_k_edges) const {
+  std::ostringstream os;
+  write_json(os, top_k_edges);
+  return os.str();
+}
+
+void write_run_report(std::ostream& os, const MetricsRegistry& metrics,
+                      const RunReportContext& context) {
+  os << "{\"schema\":\"ecd-run-report-v1\",\"title\":";
+  json_escape(os, context.title);
+  os << ",\"info\":{";
+  for (std::size_t i = 0; i < context.info.size(); ++i) {
+    if (i) os << ',';
+    json_escape(os, context.info[i].first);
+    os << ':';
+    json_escape(os, context.info[i].second);
+  }
+  os << "},\"metrics\":";
+  metrics.write_json(os, context.top_k_edges);
+  os << "}\n";
+}
+
+}  // namespace ecd::congest

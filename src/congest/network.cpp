@@ -6,7 +6,18 @@
 #include <sstream>
 #include <utility>
 
+#include "src/congest/metrics.h"
 #include "src/congest/trace.h"
+
+// Force-inline hint for the per-port metrics accounting (hot even at modest
+// n; both call sites are in this TU). Plain `inline` is not enough: GCC
+// leaves the function out of line at -O2/-O3 and the call shows up in dense
+// benchmarks.
+#if defined(__GNUC__) || defined(__clang__)
+#define ECD_METRICS_HOT __attribute__((always_inline)) inline
+#else
+#define ECD_METRICS_HOT inline
+#endif
 
 namespace ecd::congest {
 
@@ -96,6 +107,10 @@ Network::Network(const Graph& g, NetworkOptions options)
       reverse_slot_[gp_v] = gp_u;
     }
   }
+  port_peer_.resize(num_dir_ports_);
+  for (int gp = 0; gp < num_dir_ports_; ++gp) {
+    port_peer_[gp] = port_owner_[reverse_slot_[gp]];
+  }
 
   contexts_.resize(n_);
   for (VertexId v = 0; v < n_; ++v) {
@@ -107,10 +122,18 @@ Network::Network(const Graph& g, NetworkOptions options)
     ctx.neighbors_ = g.neighbors(v);
   }
 
-  // Static vertex sharding (DESIGN.md §11). Traced runs are pinned to the
-  // serial path: the delivery phase would otherwise interleave per-event
-  // sink calls across shards and break byte-identical trace fixtures.
-  num_shards_ = options_.trace ? 1 : ThreadPool::resolve(options_.num_threads);
+  // The legacy event-stream sink is serial-only: the delivery phase would
+  // interleave per-event sink calls across shards and break byte-identical
+  // trace fixtures. Refuse loudly rather than silently serializing — the
+  // aggregate metrics registry is the parallel-safe instrumentation path.
+  if (options_.trace && options_.num_threads != 1) {
+    throw std::invalid_argument(
+        "NetworkOptions: TraceSink (options.trace) requires num_threads == 1;"
+        " the event-stream sink is serial-only. Use NetworkOptions::metrics"
+        " for instrumentation at any thread count (DESIGN.md §13)");
+  }
+  // Static vertex sharding (DESIGN.md §11).
+  num_shards_ = ThreadPool::resolve(options_.num_threads);
   num_shards_ = std::min(num_shards_, std::max(1, n_));
   shard_begin_.assign(num_shards_ + 1, 0);
   {
@@ -192,6 +215,22 @@ Network::Network(const Graph& g, NetworkOptions options)
     }
   }
   if (options_.trace) trace_order_.reserve(num_dir_ports_);
+  metrics_ = options_.metrics;
+  if (metrics_) {
+    edge_accum_.assign(num_dir_ports_, EdgeAccum{});
+    const std::size_t tag_rows =
+        static_cast<std::size_t>(num_shards_) * kMetricsTagSlots;
+    tag_msgs_.assign(tag_rows, 0);
+    tag_words_.assign(tag_rows, 0);
+    cp_depth_.assign(n_, 0);
+    cp_stage_.assign(n_, CpStage{});
+    cp_touched_.resize(num_shards_);
+    for (int s = 0; s < num_shards_; ++s) {
+      // A vertex is staged at most once per round, so the shard's vertex
+      // count bounds the list — reserved here, appends never allocate.
+      cp_touched_[s].reserve(shard_begin_[s + 1] - shard_begin_[s]);
+    }
+  }
   finished_.assign(n_, 0);
 }
 
@@ -303,7 +342,11 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
     throw std::invalid_argument("need one algorithm per vertex");
   }
   reset_mailboxes();
-  return num_shards_ == 1 ? run_serial(algorithms) : run_parallel(algorithms);
+  if (metrics_) metrics_begin_run();
+  const RunStats stats =
+      num_shards_ == 1 ? run_serial(algorithms) : run_parallel(algorithms);
+  if (metrics_) metrics_end_run(stats);
+  return stats;
 }
 
 RunStats Network::run_serial(
@@ -328,12 +371,15 @@ RunStats Network::run_serial(
     }
     const int out = 1 - in_;
     const std::vector<char>& mail_in = mail_[in_];
+    // One round's partial statistics; folded into `stats` (and handed to
+    // the observers) once delivery completes.
+    ShardAccum racc;
     for (VertexId v = 0; v < n_; ++v) {
       if (faults_active_ && r >= crash_round_[v]) {
         // Crash-stop: the vertex never executes again and counts as
         // finished for termination; messages it already sent (and mail
         // still in flight toward it) are unaffected.
-        if (r == crash_round_[v]) ++stats.vertices_crashed;
+        if (r == crash_round_[v]) ++racc.stats.vertices_crashed;
         if (!finished_[v]) {
           finished_[v] = 1;
           --unfinished;
@@ -362,12 +408,8 @@ RunStats Network::run_serial(
     // Deliver. Messages already sit in their receivers' slots; what remains
     // is the fault pass (when enabled) and accounting over the ports that
     // carried traffic, then the swap.
-    std::int64_t round_messages = 0;
-    std::int64_t round_words = 0;
-    int round_max_load = 0;
-    ShardAccum facc;
     const auto account = [&](int rs) {
-      if (faults_active_) apply_port_faults(rs, out, r, facc);
+      if (faults_active_) apply_port_faults(rs, out, r, racc);
       const Message* msgs;
       int cnt;
       if (arena_mode_) {
@@ -379,13 +421,16 @@ RunStats Network::run_serial(
         cnt = static_cast<int>(box.size());
       }
       if (cnt == 0) return;  // every message on the port dropped or delayed
-      std::int64_t edge_words = 0;
-      for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
-      stats.messages_sent += cnt;
-      stats.words_sent += edge_words;
-      round_messages += cnt;
-      round_words += edge_words;
-      round_max_load = std::max(round_max_load, cnt);
+      std::int64_t edge_words;
+      if (metrics_) {
+        edge_words = metrics_account_port(0, rs, msgs, cnt, r);
+      } else {
+        edge_words = 0;
+        for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
+      }
+      racc.stats.messages_sent += cnt;
+      racc.stats.words_sent += edge_words;
+      racc.stats.max_edge_load = std::max(racc.stats.max_edge_load, cnt);
       const VertexId to = port_owner_[rs];
       mail_[out][to] = 1;
       if (trace) {
@@ -419,15 +464,15 @@ RunStats Network::run_serial(
         for (const int rs : bucket) account(rs);
       }
     }
-    stats.max_edge_load = std::max(stats.max_edge_load, round_max_load);
-    if (faults_active_) {
-      stats.messages_dropped += facc.dropped;
-      stats.messages_duplicated += facc.duplicated;
-      stats.messages_delayed += facc.delayed;
-      pending_injected_ += facc.injected_delta;
-    }
+    stats += racc.stats;
+    pending_injected_ += racc.injected_delta;
     if (trace) {
-      trace->on_round_end(r, round_messages, round_words, round_max_load);
+      trace->on_round_end(r, racc.stats.messages_sent, racc.stats.words_sent,
+                          racc.stats.max_edge_load);
+    }
+    if (metrics_) {
+      metrics_->record_round(racc.stats);
+      metrics_apply_round();
     }
     in_ = out;
   }
@@ -438,13 +483,13 @@ void Network::compute_shard(
     std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
   ShardAccum& acc = shard_accum_[s];
   acc.unfinished_delta = 0;
-  acc.crashed = 0;
+  acc.stats.vertices_crashed = 0;
   const std::vector<char>& mail_in = mail_[in_];
   const VertexId end = shard_begin_[s + 1];
   for (VertexId v = shard_begin_[s]; v < end; ++v) {
     if (faults_active_ && r >= crash_round_[v]) {
       // Crash-stop: mirror of the serial loop.
-      if (r == crash_round_[v]) ++acc.crashed;
+      if (r == crash_round_[v]) ++acc.stats.vertices_crashed;
       if (!finished_[v]) {
         finished_[v] = 1;
         --acc.unfinished_delta;
@@ -470,12 +515,14 @@ void Network::compute_shard(
 
 void Network::deliver_shard(int t, int out, std::int64_t r) {
   ShardAccum& acc = shard_accum_[t];
-  acc.messages = 0;
-  acc.words = 0;
-  acc.max_load = 0;
-  acc.dropped = 0;
-  acc.duplicated = 0;
-  acc.delayed = 0;
+  // stats.vertices_crashed and unfinished_delta were written by this
+  // shard's compute phase; everything else is this phase's output.
+  acc.stats.messages_sent = 0;
+  acc.stats.words_sent = 0;
+  acc.stats.max_edge_load = 0;
+  acc.stats.messages_dropped = 0;
+  acc.stats.messages_duplicated = 0;
+  acc.stats.messages_delayed = 0;
   acc.injected_delta = 0;
   // Retire shard t's ports of the vacated buffer FIRST: this round's
   // inboxes have been read by the compute phase and the buffer becomes
@@ -502,21 +549,25 @@ void Network::deliver_shard(int t, int out, std::int64_t r) {
     for (const int rs : active_[out][s * num_shards_ + t]) {
       if (faults_active_) apply_port_faults(rs, out, r, acc);
       std::int64_t edge_words = 0;
+      const Message* msgs;
       int cnt;
       if (arena_mode_) {
-        const Message* msgs =
-            slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
+        msgs = slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
         cnt = counts_[out][rs];
-        for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
       } else {
         const auto& box = boxes_[out][rs];
+        msgs = box.data();
         cnt = static_cast<int>(box.size());
-        for (int i = 0; i < cnt; ++i) edge_words += box[i].size_words();
       }
       if (cnt == 0) continue;  // every message on the port dropped/delayed
-      acc.messages += cnt;
-      acc.words += edge_words;
-      acc.max_load = std::max(acc.max_load, cnt);
+      if (metrics_) {
+        edge_words = metrics_account_port(t, rs, msgs, cnt, r);
+      } else {
+        for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
+      }
+      acc.stats.messages_sent += cnt;
+      acc.stats.words_sent += edge_words;
+      acc.stats.max_edge_load = std::max(acc.stats.max_edge_load, cnt);
       mail_[out][port_owner_[rs]] = 1;
     }
   }
@@ -551,18 +602,18 @@ void Network::apply_port_faults(int rs, int out, std::int64_t r,
       }
       const FaultDecision d = fault_decision(plan, r, rs, i);
       if (d.action == FaultAction::kDrop) {
-        ++acc.dropped;
+        ++acc.stats.messages_dropped;
         continue;
       }
       if (d.action == FaultAction::kDelay) {
-        ++acc.delayed;
+        ++acc.stats.messages_delayed;
         ++acc.injected_delta;
         inject_delayed(next, rs, std::move(slots[i]),
                        static_cast<signed char>(d.delay_rounds - 1));
         continue;
       }
       if (d.action == FaultAction::kDuplicate) {
-        ++acc.duplicated;
+        ++acc.stats.messages_duplicated;
         assert(cnt + copies < slot_cap_);
         slots[cnt + copies] = slots[i];  // the copy trails every original
         ++copies;
@@ -601,18 +652,18 @@ void Network::apply_port_faults(int rs, int out, std::int64_t r,
       }
       const FaultDecision d = fault_decision(plan, r, rs, i);
       if (d.action == FaultAction::kDrop) {
-        ++acc.dropped;
+        ++acc.stats.messages_dropped;
         continue;
       }
       if (d.action == FaultAction::kDelay) {
-        ++acc.delayed;
+        ++acc.stats.messages_delayed;
         ++acc.injected_delta;
         inject_delayed(next, rs, std::move(box[i]),
                        static_cast<signed char>(d.delay_rounds - 1));
         continue;
       }
       if (d.action == FaultAction::kDuplicate) {
-        ++acc.duplicated;
+        ++acc.stats.messages_duplicated;
         box.push_back(box[i]);
         ++copies;
       }
@@ -685,23 +736,118 @@ RunStats Network::run_parallel(
     // Phase two: per receiving shard, retire the vacated buffer's ports,
     // apply fault decisions, and account the traffic.
     pool_->run([&](int t) { deliver_shard(t, out, r); });
-    int round_max_load = 0;
+    // Barrier reduction in shard order: the per-round RunStats is combined
+    // once so it can feed both the run totals and the metrics registry.
+    RunStats round;
     for (const ShardAccum& acc : shard_accum_) {
-      stats.messages_sent += acc.messages;
-      stats.words_sent += acc.words;
-      round_max_load = std::max(round_max_load, acc.max_load);
+      round += acc.stats;
       unfinished += acc.unfinished_delta;
-      if (faults_active_) {
-        stats.messages_dropped += acc.dropped;
-        stats.messages_duplicated += acc.duplicated;
-        stats.messages_delayed += acc.delayed;
-        stats.vertices_crashed += acc.crashed;
-        pending_injected_ += acc.injected_delta;
-      }
+      pending_injected_ += acc.injected_delta;
     }
-    stats.max_edge_load = std::max(stats.max_edge_load, round_max_load);
+    stats += round;
+    if (metrics_) {
+      metrics_->record_round(round);
+      metrics_apply_round();
+    }
     in_ = out;
   }
+}
+
+void Network::metrics_begin_run() {
+  // Clearing at run *start* (not end) keeps aborted runs — CongestionError
+  // or max_rounds unwinds skip metrics_end_run — from leaking partial
+  // accumulators into the next run on this Network.
+  edge_accum_.assign(edge_accum_.size(), EdgeAccum{});
+  std::fill(tag_msgs_.begin(), tag_msgs_.end(), 0);
+  std::fill(tag_words_.begin(), tag_words_.end(), 0);
+  std::fill(cp_depth_.begin(), cp_depth_.end(), 0);
+  cp_stage_.assign(cp_stage_.size(), CpStage{});
+  cp_run_max_ = 0;
+  for (std::vector<VertexId>& touched : cp_touched_) touched.clear();
+  metrics_->begin_run(n_, g_.num_edges());
+}
+
+// This is the only per-port, per-round metrics cost, and dense workloads
+// (every vertex sends every round) make it the whole metrics overhead —
+// keep it one fused pass and branch-light. The inline hint matters: both
+// callers live in this TU and the delivery loop is small enough that the
+// out-of-line call was measurable (see EXPERIMENTS.md E15).
+ECD_METRICS_HOT std::int64_t Network::metrics_account_port(
+    int shard, int rs, const Message* msgs, int cnt, std::int64_t r) {
+  std::int64_t* const tm =
+      tag_msgs_.data() + static_cast<std::size_t>(shard) * kMetricsTagSlots;
+  std::int64_t* const tw =
+      tag_words_.data() + static_cast<std::size_t>(shard) * kMetricsTagSlots;
+  std::int64_t edge_words = 0;
+  for (int i = 0; i < cnt; ++i) {
+    const int w = msgs[i].size_words();
+    const int slot = metrics_tag_slot(msgs[i].tag);
+    edge_words += w;
+    ++tm[slot];
+    tw[slot] += w;
+  }
+  EdgeAccum& e = edge_accum_[rs];
+  e.messages += cnt;
+  e.words += edge_words;
+  if (cnt > e.peak) e.peak = cnt;
+  // Critical path: a delivered batch extends the sender's causal chain by
+  // one link. The candidate depth reads the sender's depth from the start
+  // of this round (cp_depth_ is only mutated at the barrier), and the
+  // receiver's staged maximum is single-writer: vertex `to` lives in this
+  // shard, and this shard's worker scans all of its receiving ports.
+  // Candidates that cannot raise the receiver's depth are dropped here —
+  // the barrier merge is `max(depth, staged)`, so they are no-ops there.
+  const VertexId to = port_owner_[rs];
+  const std::int32_t cand = cp_depth_[port_peer_[rs]] + 1;
+  if (cand > cp_depth_[to]) {
+    CpStage& st = cp_stage_[to];
+    if (st.stamp != r) {
+      st.stamp = r;
+      st.depth = cand;
+      cp_touched_[shard].push_back(to);
+    } else if (cand > st.depth) {
+      st.depth = cand;
+    }
+  }
+  return edge_words;
+}
+
+void Network::metrics_apply_round() {
+  // Caller thread, at the barrier. The max-merge makes the result
+  // independent of both shard order and within-shard staging order.
+  for (int s = 0; s < num_shards_; ++s) {
+    for (const VertexId v : cp_touched_[s]) {
+      if (cp_stage_[v].depth > cp_depth_[v]) {
+        cp_depth_[v] = cp_stage_[v].depth;
+        if (cp_depth_[v] > cp_run_max_) cp_run_max_ = cp_depth_[v];
+      }
+    }
+    cp_touched_[s].clear();
+  }
+}
+
+void Network::metrics_end_run(const RunStats& stats) {
+  // Tag rows reduce across shards in slot order; edge accumulators flush
+  // in port order. Both orders are fixed, so the registry sees the same
+  // sequence whatever num_shards_ is.
+  for (int slot = 0; slot < kMetricsTagSlots; ++slot) {
+    std::int64_t messages = 0;
+    std::int64_t words = 0;
+    for (int s = 0; s < num_shards_; ++s) {
+      const std::size_t at =
+          static_cast<std::size_t>(s) * kMetricsTagSlots + slot;
+      messages += tag_msgs_[at];
+      words += tag_words_[at];
+    }
+    if (messages != 0) metrics_->record_tag_slot(slot, messages, words);
+  }
+  for (int gp = 0; gp < num_dir_ports_; ++gp) {
+    const EdgeAccum& e = edge_accum_[gp];
+    if (e.messages == 0) continue;
+    metrics_->record_edge(port_peer_[gp], port_owner_[gp], e.messages,
+                          e.words, static_cast<int>(e.peak));
+  }
+  metrics_->end_run(stats, cp_run_max_);
 }
 
 }  // namespace ecd::congest

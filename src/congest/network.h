@@ -32,7 +32,8 @@
 
 namespace ecd::congest {
 
-class TraceSink;  // src/congest/trace.h
+class TraceSink;        // src/congest/trace.h
+class MetricsRegistry;  // src/congest/metrics.h
 class Network;
 
 class CongestionError : public std::runtime_error {
@@ -73,14 +74,22 @@ struct NetworkOptions {
   bool enforce_bandwidth = true;
   // Observer for round/edge/message events (src/congest/trace.h). Null by
   // default: the run loop takes no virtual calls and behaves exactly as
-  // before.
+  // before. The event stream is serial-only: a TraceSink together with
+  // num_threads != 1 makes the Network constructor throw
+  // std::invalid_argument (it would otherwise have to silently serialize
+  // and break the per-event order the fixtures were recorded in). For
+  // instrumentation at any thread count, use `metrics` below.
   TraceSink* trace = nullptr;
+  // Always-on aggregate metrics (src/congest/metrics.h, DESIGN.md §13).
+  // Unlike `trace`, this works at every num_threads value: per-shard
+  // accumulator rows reduce at the round barrier, snapshots are
+  // bit-identical across thread counts, and the round path stays
+  // allocation-free. Null: one predictable branch per delivered port.
+  MetricsRegistry* metrics = nullptr;
   // Threads stepping vertices each round (DESIGN.md §11). 1 (the default)
   // is the serial path; 0 resolves to std::thread::hardware_concurrency();
   // k > 1 shards vertices across k workers. Results — RunStats and every
-  // vertex's final state — are bit-identical for every value. Traced runs
-  // (trace != nullptr) always execute serially so per-event trace order,
-  // and the recorded trace fixtures, stay byte-identical.
+  // vertex's final state — are bit-identical for every value.
   int num_threads = 1;
   // Deterministic fault injection (DESIGN.md §12). Disabled by default
   // (faults.enabled() == false): the run loop takes the exact fault-free
@@ -107,6 +116,24 @@ struct RunStats {
   std::int64_t messages_duplicated = 0;  // extra copies delivered
   std::int64_t messages_delayed = 0;     // messages chosen for delay
   std::int64_t vertices_crashed = 0;     // crash events that fired
+
+  // Combines statistics the way consecutive (or per-shard partial) runs
+  // combine: every count adds, max_edge_load takes the max. Used verbatim
+  // by the serial round loop, the sharded barrier reduction, and
+  // RoundLedger::add_measured.
+  RunStats& operator+=(const RunStats& other) {
+    rounds += other.rounds;
+    messages_sent += other.messages_sent;
+    words_sent += other.words_sent;
+    if (other.max_edge_load > max_edge_load) {
+      max_edge_load = other.max_edge_load;
+    }
+    messages_dropped += other.messages_dropped;
+    messages_duplicated += other.messages_duplicated;
+    messages_delayed += other.messages_delayed;
+    vertices_crashed += other.vertices_crashed;
+    return *this;
+  }
 };
 
 // Read-only view of the messages delivered on one port this round. Valid
@@ -208,18 +235,13 @@ class Network {
   void deliver_shard(int t, int out, std::int64_t r);
 
   // Per-shard phase outputs, reduced on the caller thread at the round
-  // barrier; padded so workers never share a cache line. The fault fields
-  // are also used by the serial loop (a stack instance per round) so the
+  // barrier via RunStats::operator+=; padded so workers never share a
+  // cache line. The serial loop uses one stack instance per round so the
   // fault hook below is shared verbatim between both run loops.
+  // `stats.rounds` stays 0 — the reduction adds 1 round per barrier.
   struct alignas(64) ShardAccum {
-    std::int64_t messages = 0;
-    std::int64_t words = 0;
-    int max_load = 0;
+    RunStats stats;
     int unfinished_delta = 0;
-    std::int64_t dropped = 0;
-    std::int64_t duplicated = 0;
-    std::int64_t delayed = 0;
-    std::int64_t crashed = 0;
     // Net change in messages held back for later delivery: +1 per fresh
     // delay, -1 per delayed message that finally reached its receiver.
     std::int64_t injected_delta = 0;
@@ -249,6 +271,7 @@ class Network {
   std::vector<int> port_base_;         // size n+1 (CSR offsets)
   std::vector<int> reverse_slot_;      // size 2m
   std::vector<graph::VertexId> port_owner_;  // size 2m: vertex owning gp
+  std::vector<graph::VertexId> port_peer_;   // size 2m: neighbor on gp
   std::vector<Context> contexts_;      // wired once, reused across runs
 
   // Double-buffered mailboxes: buffer in_ is this round's inbox, 1 - in_
@@ -305,6 +328,56 @@ class Network {
   // rounds while this is nonzero so a delayed message cannot be silently
   // discarded by every vertex reporting finished before it lands.
   std::int64_t pending_injected_ = 0;
+
+  // Always-on metrics (DESIGN.md §13). All empty when options_.metrics is
+  // null; the hot paths check the cached pointer before touching any of
+  // it. Edge rows are single-writer during delivery (one receiver shard
+  // per port); tag rows are one cache-line-padded stride per shard; the
+  // critical-path staging arrays are written only for vertices of the
+  // owning shard and applied on the caller thread at the barrier, in
+  // shard order, so the result is thread-count independent.
+  MetricsRegistry* metrics_ = nullptr;
+  // Resets the per-run accumulators and opens a registry run.
+  void metrics_begin_run();
+  // Accounts one delivered port (shard `shard` owns the receiver) in one
+  // pass over the messages: per-tag counts, per-edge totals/peak, and the
+  // receiver's staged causal depth. Returns the port's delivered words so
+  // the delivery loop does not walk the messages a second time.
+  std::int64_t metrics_account_port(int shard, int rs, const Message* msgs,
+                                    int cnt, std::int64_t r);
+  // Applies the round's staged critical-path bumps (caller thread, at the
+  // barrier, shards in order).
+  void metrics_apply_round();
+  // Reduces tag rows and edge accumulators into the registry and closes
+  // the run. Not reached when the run aborts (CongestionError /
+  // max_rounds) — metrics_begin_run clears stale partials instead.
+  void metrics_end_run(const RunStats& stats);
+  // Per receiving port, this run. One 24-byte row per port keeps the three
+  // accumulators on the same cache line (they are always touched together
+  // in the delivery loop).
+  struct EdgeAccum {
+    std::int64_t messages = 0;
+    std::int64_t words = 0;
+    std::int64_t peak = 0;  // max messages in a single round
+  };
+  std::vector<EdgeAccum> edge_accum_;
+  std::vector<std::int64_t> tag_msgs_;    // num_shards_ x kMetricsTagSlots
+  std::vector<std::int64_t> tag_words_;
+  // Causal message depth per vertex (length of the longest message chain
+  // ending at the vertex), updated once per round from the staged pending
+  // values; stamp marks the round a staged depth belongs to. Depths are
+  // 32-bit on purpose: a depth is bounded by the executed round count, no
+  // feasible run reaches 2^31 rounds, and halving the array keeps the
+  // random per-sender reads in cache on large graphs (the dominant metrics
+  // cost there — see EXPERIMENTS.md E15).
+  std::vector<std::int32_t> cp_depth_;
+  struct CpStage {
+    std::int64_t stamp = -1;
+    std::int32_t depth = 0;
+  };
+  std::vector<CpStage> cp_stage_;
+  std::vector<std::vector<graph::VertexId>> cp_touched_;  // per shard
+  std::int64_t cp_run_max_ = 0;
 
   // Traced delivery replays ports in sender order; entries pack
   // (sender port << 32) | receiver port so the per-round sort is a plain

@@ -3,27 +3,30 @@
 #include <cmath>
 #include <sstream>
 
-#include "src/congest/network.h"
-
 namespace ecd::congest {
 
 void RoundLedger::add_measured(std::string label, std::int64_t rounds) {
-  entries_.push_back({std::move(label), rounds, true});
+  LedgerEntry e;
+  e.label = std::move(label);
+  e.measured = true;
+  e.stats.rounds = rounds;
+  entries_.push_back(std::move(e));
 }
 
 void RoundLedger::add_measured(std::string label, const RunStats& stats) {
   LedgerEntry e;
   e.label = std::move(label);
-  e.rounds = stats.rounds;
   e.measured = true;
-  e.messages = stats.messages_sent;
-  e.words = stats.words_sent;
-  e.max_edge_load = stats.max_edge_load;
+  e.stats += stats;
   entries_.push_back(std::move(e));
 }
 
 void RoundLedger::add_modeled(std::string label, std::int64_t rounds) {
-  entries_.push_back({std::move(label), rounds, false});
+  LedgerEntry e;
+  e.label = std::move(label);
+  e.measured = false;
+  e.stats.rounds = rounds;
+  entries_.push_back(std::move(e));
 }
 
 void RoundLedger::merge(const RoundLedger& other) {
@@ -34,7 +37,7 @@ void RoundLedger::merge(const RoundLedger& other) {
 std::int64_t RoundLedger::measured_total() const {
   std::int64_t sum = 0;
   for (const auto& e : entries_) {
-    if (e.measured) sum += e.rounds;
+    if (e.measured) sum += e.stats.rounds;
   }
   return sum;
 }
@@ -42,7 +45,7 @@ std::int64_t RoundLedger::measured_total() const {
 std::int64_t RoundLedger::modeled_total() const {
   std::int64_t sum = 0;
   for (const auto& e : entries_) {
-    if (!e.measured) sum += e.rounds;
+    if (!e.measured) sum += e.stats.rounds;
   }
   return sum;
 }
@@ -51,10 +54,11 @@ std::string RoundLedger::to_string() const {
   std::ostringstream os;
   for (const auto& e : entries_) {
     os << (e.measured ? "[measured] " : "[modeled]  ") << e.label << ": "
-       << e.rounds;
-    if (e.messages > 0) {
-      os << " (msgs=" << e.messages << " words=" << e.words
-         << " max-edge-load=" << e.max_edge_load << ")";
+       << e.stats.rounds;
+    if (e.stats.messages_sent > 0) {
+      os << " (msgs=" << e.stats.messages_sent
+         << " words=" << e.stats.words_sent
+         << " max-edge-load=" << e.stats.max_edge_load << ")";
     }
     os << "\n";
   }

@@ -11,22 +11,18 @@
 #include <string>
 #include <vector>
 
+#include "src/congest/network.h"
 #include "src/graph/graph.h"
 
 namespace ecd::congest {
 
-struct RunStats;  // src/congest/network.h
-
 struct LedgerEntry {
   std::string label;
-  std::int64_t rounds = 0;
   bool measured = false;
-  // Traffic carried during this phase, attached by the trace layer when the
-  // phase executed on the simulator; all zero for modeled entries (and for
-  // measured entries recorded without stats).
-  std::int64_t messages = 0;
-  std::int64_t words = 0;
-  int max_edge_load = 0;
+  // Phase totals. Measured entries carry the full RunStats the phase
+  // accrued on the simulator (accumulated with RunStats::operator+=);
+  // modeled entries populate stats.rounds only.
+  RunStats stats;
 };
 
 class RoundLedger {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/congest/metrics.h"
 #include "src/congest/trace.h"
 #include "src/expander/distributed_decomposition.h"
 #include "src/expander/weighted.h"
@@ -91,6 +92,7 @@ Partition partition_and_gather(const Graph& g, double eps,
   dopt.seed = graph::splitmix64(dopt.seed ^ graph::splitmix64(options.seed));
   {
     TRACE_SPAN(options.trace, "phase:decomposition");
+    congest::MetricsPhase mphase(options.metrics, "phase:decomposition");
     if (options.decomposition_mode == DecompositionMode::kDistributed) {
       expander::DistributedDecompositionOptions ddopt;
       ddopt.phi = dopt.phi;
@@ -121,11 +123,14 @@ Partition partition_and_gather(const Graph& g, double eps,
   const auto& cluster_of = out.decomposition.cluster_of;
   congest::NetworkOptions control_net;  // bandwidth-1 control traffic
   control_net.trace = options.trace;
+  control_net.metrics = options.metrics;
+  control_net.num_threads = options.num_threads;
 
   // Leader election: the paper elects a maximum-cluster-degree vertex.
   congest::LeaderElectionResult election;
   {
     TRACE_SPAN(options.trace, "phase:election");
+    congest::MetricsPhase mphase(options.metrics, "phase:election");
     election = congest::elect_cluster_leaders(g, cluster_of, control_net);
   }
   out.leader_of = election.leader_of;
@@ -141,6 +146,7 @@ Partition partition_and_gather(const Graph& g, double eps,
   congest::OrientationResult orientation;
   {
     TRACE_SPAN(options.trace, "phase:orientation");
+    congest::MetricsPhase mphase(options.metrics, "phase:orientation");
     orientation =
         congest::orient_cluster_edges(g, cluster_of, threshold, control_net);
   }
@@ -171,6 +177,8 @@ Partition partition_and_gather(const Graph& g, double eps,
   GatherOptions gopt;
   gopt.seed = graph::splitmix64(options.seed ^ 0x2545F4914F6CDD1DULL);
   gopt.net.trace = options.trace;
+  gopt.net.metrics = options.metrics;
+  gopt.net.num_threads = options.num_threads;
   gopt.net.bandwidth_tokens =
       options.walk_bandwidth > 0
           ? options.walk_bandwidth
@@ -183,12 +191,19 @@ Partition partition_and_gather(const Graph& g, double eps,
     ropt.epoch_rounds = options.gather_epoch_rounds;
     ropt.max_epochs = options.gather_max_epochs;
     TRACE_SPAN(options.trace, "phase:gather");
+    congest::MetricsPhase mphase(options.metrics, "phase:gather");
     congest::ReliableGatherResult reliable = congest::reliable_walk_gather(
         g, cluster_of, out.leader_of, tokens, ropt);
     out.gather = std::move(reliable.gather);
     out.gather_retransmissions = reliable.retransmissions;
     out.gather_epochs = reliable.epochs;
     out.gather_reelections = reliable.reelections;
+    if (options.metrics) {
+      options.metrics->counter("gather.retransmissions")
+          ->add(reliable.retransmissions);
+      options.metrics->counter("gather.epochs")->add(reliable.epochs);
+      options.metrics->counter("gather.reelections")->add(reliable.reelections);
+    }
     // Crash-forced re-elections replace leaders mid-gather; downstream
     // phases (reconstruction, reversed delivery) must see the survivors.
     // Crashed vertices report no leader (-1) and keep their original entry.
@@ -201,6 +216,7 @@ Partition partition_and_gather(const Graph& g, double eps,
                             out.gather.stats);
   } else {
     TRACE_SPAN(options.trace, "phase:gather");
+    congest::MetricsPhase mphase(options.metrics, "phase:gather");
     out.gather = congest::random_walk_gather(g, cluster_of, out.leader_of,
                                              tokens, gopt);
     out.ledger.add_measured("topology gather (Lemma 2.4 random walks)",
@@ -211,6 +227,7 @@ Partition partition_and_gather(const Graph& g, double eps,
 
   // Leader-side reconstruction.
   TRACE_SPAN(options.trace, "phase:reconstruct");
+  congest::MetricsPhase reconstruct_phase(options.metrics, "phase:reconstruct");
   const auto members = expander::cluster_members(out.decomposition);
   out.clusters.resize(out.decomposition.num_clusters);
   for (int c = 0; c < out.decomposition.num_clusters; ++c) {

@@ -25,6 +25,10 @@
 #include "src/graph/graph.h"
 #include "src/graph/subgraph.h"
 
+namespace ecd::congest {
+class MetricsRegistry;  // src/congest/metrics.h
+}  // namespace ecd::congest
+
 namespace ecd::core {
 
 // How the expander decomposition is constructed and accounted.
@@ -57,8 +61,18 @@ struct FrameworkOptions {
   // "phase:*" span around each of its five phases (decomposition, election,
   // orientation, gather, reconstruct), the primitives nest their own spans
   // inside, and every simulator round/edge/message event is reported. Null:
-  // zero overhead.
+  // zero overhead. Serial-only: a non-null sink forces num_threads == 1
+  // (the Network constructor rejects any other combination).
   congest::TraceSink* trace = nullptr;
+  // Aggregate metrics (src/congest/metrics.h): when set, every simulated
+  // phase runs with the registry attached — per-tag traffic, round
+  // histograms, edge high-water marks, critical path — and each pipeline
+  // phase opens a "phase:*" MetricsPhase. Unlike `trace`, works at every
+  // `num_threads` value with bit-identical snapshots.
+  congest::MetricsRegistry* metrics = nullptr;
+  // Worker threads for the simulated phases (NetworkOptions::num_threads):
+  // 1 = serial (default), 0 = hardware concurrency, k = k shards.
+  int num_threads = 1;
   // --- Fault tolerance (DESIGN.md §12) ------------------------------------
   // Fault plan applied to the gather phase (the data plane); crash rounds
   // are interpreted on the gather's own round timeline. Control phases

@@ -453,10 +453,10 @@ TEST(RoundLedger, AddMeasuredFromStatsRecordsTraffic) {
   ASSERT_EQ(ledger.entries().size(), 1u);
   const auto& e = ledger.entries()[0];
   EXPECT_TRUE(e.measured);
-  EXPECT_EQ(e.rounds, 12);
-  EXPECT_EQ(e.messages, 340);
-  EXPECT_EQ(e.words, 900);
-  EXPECT_EQ(e.max_edge_load, 3);
+  EXPECT_EQ(e.stats.rounds, 12);
+  EXPECT_EQ(e.stats.messages_sent, 340);
+  EXPECT_EQ(e.stats.words_sent, 900);
+  EXPECT_EQ(e.stats.max_edge_load, 3);
 }
 
 TEST(RoundLedger, MergePreservesTrafficStats) {
@@ -474,9 +474,9 @@ TEST(RoundLedger, MergePreservesTrafficStats) {
   EXPECT_EQ(ledger.measured_total(), 5);
   EXPECT_EQ(ledger.modeled_total(), 50);
   ASSERT_EQ(ledger.entries().size(), 3u);
-  EXPECT_EQ(ledger.entries()[1].messages, 10);
-  EXPECT_EQ(ledger.entries()[1].words, 25);
-  EXPECT_EQ(ledger.entries()[1].max_edge_load, 2);
+  EXPECT_EQ(ledger.entries()[1].stats.messages_sent, 10);
+  EXPECT_EQ(ledger.entries()[1].stats.words_sent, 25);
+  EXPECT_EQ(ledger.entries()[1].stats.max_edge_load, 2);
 }
 
 TEST(RoundLedger, ToStringShowsTrafficOnlyWhenRecorded) {

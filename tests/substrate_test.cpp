@@ -663,13 +663,23 @@ TEST(SubstrateParity, TraceAndStatsMatchPreArenaRecording) {
   run_parity_workload({});
 }
 
-// Traced runs execute serially whatever num_threads asks for (DESIGN.md
-// §11), so requesting full hardware concurrency must still reproduce the
-// recorded fixture byte for byte.
-TEST(SubstrateParity, TracedRunAtHardwareConcurrencyMatchesFixture) {
+// The event-stream TraceSink is serial-only; instead of silently dropping
+// to one shard (the old behaviour), the Network now rejects the
+// combination outright — anything else quietly invalidates a "parallel"
+// measurement. NetworkOptions::metrics is the any-thread-count
+// instrumentation path (tests/metrics_test.cpp).
+TEST(SubstrateParity, TraceWithWorkerThreadsIsRejected) {
+  graph::Rng rng(5);
+  const Graph g = graph::random_maximal_planar(32, rng);
+  MetricsCollector mc;
   NetworkOptions net;
-  net.num_threads = 0;  // resolve to hardware concurrency
-  run_parity_workload(net);
+  net.trace = &mc;
+  net.num_threads = 4;
+  EXPECT_THROW(Network(g, net), std::invalid_argument);
+  net.num_threads = 0;  // "hardware concurrency" is not a serial request
+  EXPECT_THROW(Network(g, net), std::invalid_argument);
+  net.num_threads = 1;
+  EXPECT_NO_THROW(Network(g, net));
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+// Tests for tools/json_min.h (the dependency-free JSON parser) and
+// tools/bench_compare.h (the bench regression gate CI runs against
+// bench/baseline.json).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/bench_compare.h"
+#include "tools/json_min.h"
+
+namespace {
+
+using ecd::jsonmin::parse;
+using ecd::jsonmin::Type;
+using ecd::jsonmin::Value;
+using ecd::tools::compare_bench_snapshots;
+using ecd::tools::CompareOptions;
+using ecd::tools::CompareResult;
+
+// --- jsonmin ----------------------------------------------------------------
+
+TEST(JsonMin, ParsesScalarsAndNesting) {
+  const Value doc = parse(
+      R"({"a": 1, "b": -2.5e2, "c": "hi\nthere", "d": [true, false, null],)"
+      R"( "e": {"nested": []}, "a": 2})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("a").number, 1.0);  // find() returns the first "a"
+  EXPECT_DOUBLE_EQ(doc.at("b").number, -250.0);
+  EXPECT_EQ(doc.at("c").string, "hi\nthere");
+  const Value& d = doc.at("d");
+  ASSERT_TRUE(d.is_array());
+  ASSERT_EQ(d.items.size(), 3u);
+  EXPECT_TRUE(d.items[0].boolean);
+  EXPECT_FALSE(d.items[1].boolean);
+  EXPECT_TRUE(d.items[2].is_null());
+  EXPECT_TRUE(doc.at("e").at("nested").is_array());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+}
+
+TEST(JsonMin, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse("[1] trailing"), std::runtime_error);
+  EXPECT_THROW(parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse("01"), std::runtime_error);  // leading zero
+  EXPECT_THROW(parse("1.e5"), std::runtime_error);
+  EXPECT_THROW(parse("nulL"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse("\"bad \\x escape\""), std::runtime_error);
+}
+
+TEST(JsonMin, ParsesRealisticBenchSnapshot) {
+  const Value doc = parse(
+      R"({"schema":"ecd-bench-v1","suite":"network","rows":[)"
+      R"({"name":"BM_Flood/n:1024/threads:1/metrics:0/real_time",)"
+      R"("iterations":11,"real_time_ns":6545099.5455,"cpu_time_ns":5972468.8,)"
+      R"("counters":{"allocs_per_round":0,"rounds_per_sec":9778.3}}]})");
+  EXPECT_EQ(doc.at("schema").string, "ecd-bench-v1");
+  const Value& row = doc.at("rows").items.at(0);
+  EXPECT_DOUBLE_EQ(row.at("counters").at("rounds_per_sec").number, 9778.3);
+}
+
+// --- bench_compare ----------------------------------------------------------
+
+// Builds a one-suite snapshot with the given per-row counters.
+std::string snapshot(
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::string out = R"({"schema":"ecd-bench-v1","suite":"t","rows":[)";
+  bool first = true;
+  for (const auto& [name, counters] : rows) {
+    if (!first) out += ',';
+    first = false;
+    out += R"({"name":")" + name +
+           R"(","iterations":1,"real_time_ns":1,"cpu_time_ns":1,"counters":{)" +
+           counters + "}}";
+  }
+  return out + "]}";
+}
+
+TEST(BenchCompare, IdenticalSnapshotsPass) {
+  const Value doc = parse(snapshot(
+      {{"BM_A", R"("rounds_per_sec":1000,"allocs_per_round":0,"n":64)"}}));
+  const CompareResult r = compare_bench_snapshots(doc, doc);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.rows_compared, 1);
+  // rounds_per_sec and allocs_per_round are gated; "n" is informational.
+  EXPECT_EQ(r.counters_compared, 2);
+  EXPECT_TRUE(r.issues.empty());
+}
+
+TEST(BenchCompare, TenPercentThroughputRegressionFails) {
+  const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"}}));
+  // 11% below baseline: outside the default 10% allowance.
+  const Value bad = parse(snapshot({{"BM_A", R"("rounds_per_sec":890)"}}));
+  const CompareResult r = compare_bench_snapshots(base, bad);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_TRUE(r.issues[0].fatal);
+  EXPECT_EQ(r.issues[0].counter, "rounds_per_sec");
+}
+
+TEST(BenchCompare, FivePercentDipPasses) {
+  const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"}}));
+  const Value dip = parse(snapshot({{"BM_A", R"("rounds_per_sec":950)"}}));
+  EXPECT_TRUE(compare_bench_snapshots(base, dip).ok);
+  // Improvements are never failures.
+  const Value gain = parse(snapshot({{"BM_A", R"("rounds_per_sec":2000)"}}));
+  EXPECT_TRUE(compare_bench_snapshots(base, gain).ok);
+}
+
+TEST(BenchCompare, AllocRegressionFails) {
+  const Value base = parse(snapshot({{"BM_A", R"("allocs_per_round":0)"}}));
+  const Value bad = parse(snapshot({{"BM_A", R"("allocs_per_round":2.5)"}}));
+  const CompareResult r = compare_bench_snapshots(base, bad);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].counter, "allocs_per_round");
+  // Within the 0.5 slack: jitter, not a regression.
+  const Value jitter = parse(snapshot({{"BM_A", R"("allocs_per_round":0.3)"}}));
+  EXPECT_TRUE(compare_bench_snapshots(base, jitter).ok);
+}
+
+TEST(BenchCompare, MissingRowWarnsButPasses) {
+  const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"},
+                                     {"BM_B", R"("rounds_per_sec":500)"}}));
+  const Value filtered = parse(snapshot({{"BM_A", R"("rounds_per_sec":990)"}}));
+  const CompareResult r = compare_bench_snapshots(base, filtered);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.rows_compared, 1);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_FALSE(r.issues[0].fatal);
+  EXPECT_EQ(r.issues[0].row, "BM_B");
+}
+
+TEST(BenchCompare, NoCommonRowsIsAFailure) {
+  const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"}}));
+  const Value other = parse(snapshot({{"BM_Z", R"("rounds_per_sec":1000)"}}));
+  const CompareResult r = compare_bench_snapshots(base, other);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(BenchCompare, CustomThresholdRespected) {
+  const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"}}));
+  const Value dip = parse(snapshot({{"BM_A", R"("rounds_per_sec":700)"}}));
+  CompareOptions lenient;
+  lenient.throughput_threshold = 0.5;
+  EXPECT_TRUE(compare_bench_snapshots(base, dip, lenient).ok);
+  CompareOptions strict;
+  strict.throughput_threshold = 0.01;
+  const Value tiny = parse(snapshot({{"BM_A", R"("rounds_per_sec":985)"}}));
+  EXPECT_FALSE(compare_bench_snapshots(base, tiny, strict).ok);
+}
+
+TEST(BenchCompare, RejectsWrongSchema) {
+  const Value ok = parse(snapshot({{"BM_A", R"("rounds_per_sec":1)"}}));
+  const Value wrong = parse(R"({"schema":"other","rows":[]})");
+  EXPECT_THROW(compare_bench_snapshots(wrong, ok), std::runtime_error);
+  EXPECT_THROW(compare_bench_snapshots(ok, wrong), std::runtime_error);
+}
+
+TEST(BenchCompare, FormatMentionsEveryIssue) {
+  const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"},
+                                     {"BM_B", R"("rounds_per_sec":500)"}}));
+  const Value bad = parse(snapshot({{"BM_A", R"("rounds_per_sec":1)"}}));
+  const std::string text =
+      format_compare_result(compare_bench_snapshots(base, bad));
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("warn"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("BM_A"), std::string::npos);
+  EXPECT_NE(text.find("BM_B"), std::string::npos);
+}
+
+}  // namespace

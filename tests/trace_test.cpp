@@ -10,6 +10,7 @@
 #include "src/congest/trace.h"
 #include "src/core/framework.h"
 #include "src/graph/generators.h"
+#include "tools/json_min.h"
 
 namespace ecd::congest {
 namespace {
@@ -158,9 +159,9 @@ TEST(Trace, PhaseSpansReconcileWithLedgerAndRunStats) {
   int ledger_max_load = 0;
   for (const auto& e : p.ledger.entries()) {
     if (!e.measured) continue;
-    ledger_messages += e.messages;
-    ledger_words += e.words;
-    ledger_max_load = std::max(ledger_max_load, e.max_edge_load);
+    ledger_messages += e.stats.messages_sent;
+    ledger_words += e.stats.words_sent;
+    ledger_max_load = std::max(ledger_max_load, e.stats.max_edge_load);
   }
   EXPECT_EQ(ledger_messages, collector.totals().messages_sent);
   EXPECT_EQ(ledger_words, collector.totals().words_sent);
@@ -270,6 +271,108 @@ TEST(Trace, HotspotReportNamesCongestedEdgesAndPercentiles) {
   for (std::size_t i = 1; i < top.size(); ++i) {
     EXPECT_GE(top[i - 1].messages, top[i].messages);
   }
+}
+
+// Golden-structure check: the Chrome trace must be a real JSON document
+// whose traceEvents array contains exactly one complete ("X") event per
+// recorded span, each with a positive duration, plus two counter ("C")
+// tracks per round sample. Parsed with the strict tools/ JSON parser, not
+// just brace-balanced.
+TEST(Trace, ChromeTraceGoldenStructure) {
+  Rng rng(41);
+  Graph g = graph::random_maximal_planar(40, rng);
+  MetricsCollector collector;
+  core::FrameworkOptions opt;
+  opt.trace = &collector;
+  core::partition_and_gather(g, 0.3, opt);
+
+  std::ostringstream os;
+  export_chrome_trace(collector, os);
+  const jsonmin::Value doc = jsonmin::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  const jsonmin::Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  std::size_t complete_events = 0, counter_events = 0;
+  for (const jsonmin::Value& ev : events.items) {
+    ASSERT_TRUE(ev.is_object());
+    const std::string& ph = ev.at("ph").string;
+    EXPECT_FALSE(ev.at("name").string.empty());
+    EXPECT_GE(ev.at("ts").number, 0.0);
+    if (ph == "X") {
+      ++complete_events;
+      // Zero-round spans are widened to dur 1 so they stay visible.
+      EXPECT_GE(ev.at("dur").number, 1.0);
+      const jsonmin::Value& args = ev.at("args");
+      EXPECT_NE(args.find("rounds"), nullptr);
+      EXPECT_NE(args.find("messages"), nullptr);
+      EXPECT_NE(args.find("max_edge_load"), nullptr);
+    } else if (ph == "C") {
+      ++counter_events;
+    } else {
+      EXPECT_EQ(ph, "i");  // violation instants are the only other kind
+    }
+  }
+  EXPECT_EQ(complete_events, collector.spans().size());
+  EXPECT_EQ(counter_events, 2 * collector.rounds().size());
+  // Every span the collector recorded appears by name.
+  for (const SpanStats& s : collector.spans()) {
+    EXPECT_NE(os.str().find("\"name\":\"" + s.name + "\""),
+              std::string::npos)
+        << s.name;
+  }
+}
+
+// Feeds the collector synthetic traffic directly through the TraceSink
+// interface so edge totals tie exactly, then pins the documented
+// tie-break: equal-message edges order by (from, to) ascending — both in
+// top_edges() and in the hotspot report text.
+TEST(Trace, HotspotTopKTieOrderingIsStable) {
+  MetricsCollector collector;
+  NetworkOptions net;
+  collector.on_run_begin(8, 8, net);
+  // Four directed edges, all with 3 messages / 6 words, fed in an order
+  // deliberately different from the expected output order.
+  const std::pair<VertexId, VertexId> edges[] = {
+      {5, 1}, {2, 7}, {2, 3}, {0, 4}};
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& [from, to] : edges) {
+      collector.on_edge_load(round, from, to, 1, 2);
+    }
+    collector.on_round_end(round, 4, 8, 1);
+  }
+  RunStats stats;
+  stats.rounds = 3;
+  stats.messages_sent = 12;
+  stats.words_sent = 24;
+  stats.max_edge_load = 1;
+  collector.on_run_end(stats);
+
+  const auto top = collector.top_edges(3);  // k smaller than edge count
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].from, 0);
+  EXPECT_EQ(top[0].to, 4);
+  EXPECT_EQ(top[1].from, 2);
+  EXPECT_EQ(top[1].to, 3);
+  EXPECT_EQ(top[2].from, 2);
+  EXPECT_EQ(top[2].to, 7);
+  for (const EdgeTraffic& e : top) {
+    EXPECT_EQ(e.messages, 3);
+    EXPECT_EQ(e.words, 6);
+    EXPECT_EQ(e.peak_load, 1);
+  }
+
+  // The rendered report lists the same edges in the same stable order.
+  const std::string report = hotspot_report(collector, 3);
+  const auto pos_04 = report.find("0->4");
+  const auto pos_23 = report.find("2->3");
+  const auto pos_27 = report.find("2->7");
+  ASSERT_NE(pos_04, std::string::npos);
+  ASSERT_NE(pos_23, std::string::npos);
+  ASSERT_NE(pos_27, std::string::npos);
+  EXPECT_EQ(report.find("5->1"), std::string::npos);  // cut by k=3
+  EXPECT_LT(pos_04, pos_23);
+  EXPECT_LT(pos_23, pos_27);
 }
 
 class DoubleSendAlgo final : public VertexAlgorithm {

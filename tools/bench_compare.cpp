@@ -1,0 +1,204 @@
+// CLI half of the bench regression gate; logic in tools/bench_compare.h.
+//
+//   bench_compare <baseline.json> <current.json> [--threshold <frac>]
+//                 [--alloc-slack <x>]
+//
+// Exit codes: 0 = no regression, 1 = regression detected, 2 = bad
+// invocation or unreadable/invalid input. CI runs it as
+//   ./build/tools/bench_compare bench/baseline.json BENCH_network.json
+#include "tools/bench_compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace ecd::tools {
+
+namespace {
+
+struct Row {
+  std::map<std::string, double> counters;
+};
+
+// name -> counters, in snapshot order for deterministic reporting.
+std::vector<std::pair<std::string, Row>> rows_of(const jsonmin::Value& doc,
+                                                 const char* which) {
+  const jsonmin::Value* schema = doc.find("schema");
+  if (!schema || !schema->is_string() || schema->string != "ecd-bench-v1") {
+    throw std::runtime_error(std::string(which) +
+                             ": not an ecd-bench-v1 snapshot");
+  }
+  const jsonmin::Value& rows = doc.at("rows");
+  if (!rows.is_array()) {
+    throw std::runtime_error(std::string(which) + ": \"rows\" is not an array");
+  }
+  std::vector<std::pair<std::string, Row>> out;
+  for (const jsonmin::Value& r : rows.items) {
+    const jsonmin::Value& name = r.at("name");
+    if (!name.is_string()) {
+      throw std::runtime_error(std::string(which) + ": row without a name");
+    }
+    Row row;
+    const jsonmin::Value& counters = r.at("counters");
+    for (const auto& [cname, cvalue] : counters.members) {
+      if (cvalue.is_number()) row.counters[cname] = cvalue.number;
+    }
+    out.emplace_back(name.string, std::move(row));
+  }
+  return out;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
+                                      const jsonmin::Value& current,
+                                      const CompareOptions& options) {
+  const auto base_rows = rows_of(baseline, "baseline");
+  const auto cur_rows = rows_of(current, "current");
+  std::map<std::string, const Row*> cur_by_name;
+  for (const auto& [name, row] : cur_rows) cur_by_name[name] = &row;
+
+  CompareResult result;
+  for (const auto& [name, base] : base_rows) {
+    const auto it = cur_by_name.find(name);
+    if (it == cur_by_name.end()) {
+      result.issues.push_back(
+          {false, name, "", "row missing from current snapshot (filtered run?)"});
+      continue;
+    }
+    const Row& cur = *it->second;
+    ++result.rows_compared;
+    for (const auto& [cname, base_value] : base.counters) {
+      const auto cit = cur.counters.find(cname);
+      const bool is_throughput = ends_with(cname, "_per_sec");
+      const bool is_alloc = cname == "allocs_per_round";
+      if (!is_throughput && !is_alloc) continue;
+      if (cit == cur.counters.end()) {
+        result.issues.push_back(
+            {false, name, cname, "counter missing from current snapshot"});
+        continue;
+      }
+      const double cur_value = cit->second;
+      ++result.counters_compared;
+      if (is_throughput) {
+        const double floor = base_value * (1.0 - options.throughput_threshold);
+        if (cur_value < floor) {
+          result.issues.push_back(
+              {true, name, cname,
+               "throughput regression: " + fmt(cur_value) + " < floor " +
+                   fmt(floor) + " (baseline " + fmt(base_value) + ", -" +
+                   fmt(options.throughput_threshold * 100) + "% allowed)"});
+        }
+      } else {
+        const double ceiling = base_value + options.alloc_slack;
+        if (cur_value > ceiling) {
+          result.issues.push_back(
+              {true, name, cname,
+               "allocation regression: " + fmt(cur_value) + " > " +
+                   fmt(ceiling) + " (baseline " + fmt(base_value) + " + slack " +
+                   fmt(options.alloc_slack) + ")"});
+        }
+      }
+    }
+  }
+  if (result.rows_compared == 0) {
+    result.issues.push_back(
+        {true, "", "",
+         "no common rows between baseline and current snapshot"});
+  }
+  result.ok = result.rows_compared > 0;
+  for (const CompareIssue& issue : result.issues) {
+    if (issue.fatal) result.ok = false;
+  }
+  return result;
+}
+
+std::string format_compare_result(const CompareResult& result) {
+  std::ostringstream os;
+  for (const CompareIssue& issue : result.issues) {
+    os << (issue.fatal ? "FAIL" : "warn");
+    if (!issue.row.empty()) {
+      os << " [" << issue.row;
+      if (!issue.counter.empty()) os << " : " << issue.counter;
+      os << "]";
+    }
+    os << " " << issue.message << "\n";
+  }
+  os << (result.ok ? "OK" : "REGRESSION") << ": " << result.rows_compared
+     << " rows, " << result.counters_compared << " gated counters\n";
+  return os.str();
+}
+
+}  // namespace ecd::tools
+
+#ifndef ECD_BENCH_COMPARE_NO_MAIN
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare <baseline.json> <current.json> "
+               "[--threshold <frac>] [--alloc-slack <x>]\n");
+  std::exit(2);
+}
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  ecd::tools::CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      options.throughput_threshold = std::atof(argv[++i]);
+    } else if (arg == "--alloc-slack" && i + 1 < argc) {
+      options.alloc_slack = std::atof(argv[++i]);
+    } else if (!baseline_path) {
+      baseline_path = argv[i];
+    } else if (!current_path) {
+      current_path = argv[i];
+    } else {
+      usage();
+    }
+  }
+  if (!baseline_path || !current_path) usage();
+
+  try {
+    const auto baseline = ecd::jsonmin::parse(slurp(baseline_path));
+    const auto current = ecd::jsonmin::parse(slurp(current_path));
+    const auto result =
+        ecd::tools::compare_bench_snapshots(baseline, current, options);
+    std::printf("%s", ecd::tools::format_compare_result(result).c_str());
+    return result.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}
+#endif  // ECD_BENCH_COMPARE_NO_MAIN

@@ -1,0 +1,63 @@
+// Bench regression gate (library half; the CLI wrapper is
+// tools/bench_compare.cpp, the consumer is the release CI job).
+//
+// Compares two "ecd-bench-v1" snapshots (bench/bench_util.h's JSON
+// reporter) row by row and decides whether `current` regressed against
+// `baseline`:
+//
+//   * every counter ending in `_per_sec` is a throughput: it fails when
+//     current < baseline * (1 - throughput_threshold)  (default -10%);
+//   * `allocs_per_round` is an absolute contract: it fails when
+//     current > baseline + alloc_slack (default 0.5 — i.e. "stays ~0"
+//     must stay ~0, but one-off warm-up jitter is tolerated);
+//   * rows present in the baseline but missing from the current snapshot
+//     are warnings, not failures — CI smoke runs a --benchmark_filter
+//     subset of the committed baseline;
+//   * zero common rows is an input error, not a pass.
+//
+// The committed bench/baseline.json stores machine-independent *floors*
+// (measured throughput divided by a generous safety factor), so the gate
+// catches order-of-magnitude regressions without flaking on CI hardware
+// variance; see DESIGN.md §13.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/json_min.h"
+
+namespace ecd::tools {
+
+struct CompareOptions {
+  double throughput_threshold = 0.10;  // fail below (1 - this) * baseline
+  double alloc_slack = 0.5;            // fail above baseline + this
+};
+
+struct CompareIssue {
+  bool fatal = false;  // true = regression/error, false = warning
+  std::string row;
+  std::string counter;  // empty for row-level issues
+  std::string message;
+};
+
+struct CompareResult {
+  // ok = at least one common row and no fatal issue.
+  bool ok = false;
+  int rows_compared = 0;
+  int counters_compared = 0;
+  std::vector<CompareIssue> issues;
+};
+
+// `baseline` and `current` are parsed ecd-bench-v1 documents (jsonmin).
+// Throws std::runtime_error when either document does not match the
+// schema.
+CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
+                                      const jsonmin::Value& current,
+                                      const CompareOptions& options = {});
+
+// Formats the result as the text the CLI prints (one line per issue plus a
+// summary line).
+std::string format_compare_result(const CompareResult& result);
+
+}  // namespace ecd::tools
