@@ -184,7 +184,14 @@ std::vector<int> bfs_parent_ports(const graph::Graph& g) {
 template <typename MakeAlgos>
 void run_substrate_bench(benchmark::State& state, const graph::Graph& g,
                          const NetworkOptions& opt, MakeAlgos make_algos) {
-  Network net(g, opt);
+  // --ecd_profile: attach the execution profiler to the run under test so
+  // the snapshot records barrier-wait fraction and load imbalance next to
+  // the throughput counters. Off by default — the committed baselines (and
+  // the ≤5% overhead budget they gate) are unprofiled.
+  congest::ExecutionProfiler profiler;
+  NetworkOptions run_opt = opt;
+  if (bench::profile_requested()) run_opt.profiler = &profiler;
+  Network net(g, run_opt);
   std::int64_t total_rounds = 0;
   std::int64_t total_messages = 0;
   for (auto _ : state) {
@@ -210,6 +217,9 @@ void run_substrate_bench(benchmark::State& state, const graph::Graph& g,
   state.counters["n"] = g.num_vertices();
   state.counters["m"] = g.num_edges();
   state.counters["threads"] = opt.num_threads;
+  if (bench::profile_requested()) {
+    bench::register_profile_counters(state, profiler);
+  }
   state.counters["rounds_per_sec"] = benchmark::Counter(
       static_cast<double>(total_rounds), benchmark::Counter::kIsRate);
   state.counters["messages_per_sec"] = benchmark::Counter(

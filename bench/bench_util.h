@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/congest/profiler.h"
 #include "src/congest/trace.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
@@ -165,6 +166,36 @@ inline void register_alloc_counter(benchmark::State& state,
                  : 0.0;
 }
 
+// --- Execution profiling (--ecd_profile) ------------------------------------
+//
+// Every ECD_BENCH_MAIN binary also accepts --ecd_profile: benchmarks that
+// support it attach an ExecutionProfiler to the run under test and export
+// barrier-wait fraction, load imbalance and achievable speedup alongside
+// their throughput counters (so ecd-bench-v1 snapshots — and the
+// bench_compare delta table — show *why* a thread count wins or loses, not
+// just how fast it went). Off by default: the profiler costs a few clock
+// reads per shard per round, and the committed baselines are unprofiled.
+
+inline std::atomic<bool>& profile_flag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+inline bool profile_requested() {
+  return profile_flag().load(std::memory_order_relaxed);
+}
+
+// Registers the profiler-derived counters on a benchmark row. Call after
+// the timed loop with the profiler that was attached to the Network under
+// test (no-op counters are still honest: a serial run reports barrier 0).
+inline void register_profile_counters(
+    benchmark::State& state, const congest::ExecutionProfiler& profiler) {
+  const congest::ExecutionProfiler::Summary s = profiler.summary();
+  state.counters["profile_barrier_wait_fraction"] = s.barrier_wait_fraction;
+  state.counters["profile_load_imbalance"] = s.load_imbalance;
+  state.counters["profile_achievable_speedup"] = s.achievable_speedup;
+}
+
 // --- Bench telemetry (JSON snapshots + regression gate) ---------------------
 //
 // Every bench binary built with ECD_BENCH_MAIN(suite) accepts
@@ -275,6 +306,8 @@ inline int bench_main(std::string_view suite, int argc, char** argv) {
       json_path = "BENCH_" + std::string(suite) + ".json";
     } else if (arg.rfind("--ecd_json=", 0) == 0) {
       json_path = std::string(arg.substr(std::string_view("--ecd_json=").size()));
+    } else if (arg == "--ecd_profile") {
+      profile_flag().store(true, std::memory_order_relaxed);
     } else {
       args.push_back(argv[i]);
     }

@@ -18,6 +18,13 @@
 //                                            (works at any --threads), print
 //                                            the per-phase table, write an
 //                                            ecd-run-report-v1 JSON snapshot
+//   ecd_cli profile --family <f> --n <k>     run the pipeline with the
+//                                            wall-clock execution profiler
+//                                            attached; print the per-shard
+//                                            imbalance/barrier table, write
+//                                            ecd-profile-v1 JSON and (with
+//                                            --timeline) a per-shard Chrome
+//                                            trace
 //
 // options: --eps <x>      proximity/approximation parameter (default 0.2)
 //          --seed <k>     RNG seed (default 1)
@@ -39,15 +46,34 @@
 //                 --top <k>                  congested edges in the report
 //                                            (default 10)
 //
+// profile options: --family/--n/--eps/--seed/--distributed/--threads/
+//                  --fault-permille as above
+//                  --workload gather|flood|mis
+//                                            what to profile (default
+//                                            gather = the Thm 2.6 pipeline;
+//                                            flood = one wavefront over the
+//                                            graph; mis = Luby MIS)
+//                  --out <path>              ecd-profile-v1 JSON (default
+//                                            ecd_profile.json)
+//                  --timeline <path>         per-shard Chrome trace_event
+//                                            timeline (omitted = not written)
+//                  --ring <k>                per-shard round samples kept for
+//                                            the timeline (default 4096)
+//
 // families for `gen`/`trace`: grid, tri, planar, outer, twotree, tree,
 // torus, hypercube, expander.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "src/baselines/luby_mis.h"
 #include "src/congest/metrics.h"
+#include "src/congest/network.h"
+#include "src/congest/profiler.h"
 #include "src/congest/trace.h"
 #include "src/core/correlation.h"
 #include "src/core/framework.h"
@@ -76,7 +102,7 @@ struct Options {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: ecd_cli <gen|decompose|mis|mcm|mwm|correlate|"
-               "test-planarity|ldd|triangles|trace|report> ... "
+               "test-planarity|ldd|triangles|trace|report|profile> ... "
                "(see source header)\n");
   std::exit(2);
 }
@@ -352,6 +378,169 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
+// Minimal flood wavefront for the `profile --workload flood` row: vertex 0
+// announces, everyone forwards on first receipt (the per-round-fixed-cost
+// workload of EXPERIMENTS.md E16; matches bench_network's BM_Flood).
+class ProfileFloodAlgo final : public ecd::congest::VertexAlgorithm {
+ public:
+  explicit ProfileFloodAlgo(bool is_source) : value_(is_source ? 1 : -1) {}
+
+  void round(ecd::congest::Context& ctx) override {
+    started_ = true;
+    sent_ = false;
+    if (ctx.round() == 0) {
+      if (value_ != -1) forward(ctx);
+      return;
+    }
+    if (value_ != -1) return;
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      if (!ctx.inbox(p).empty()) {
+        value_ = ctx.inbox(p)[0].words[0];
+        forward(ctx);
+        return;
+      }
+    }
+  }
+  bool finished() const override { return started_ && !sent_; }
+
+ private:
+  void forward(ecd::congest::Context& ctx) {
+    sent_ = true;
+    for (int p = 0; p < ctx.num_ports(); ++p) ctx.send(p, {{value_}});
+  }
+  std::int64_t value_;
+  bool started_ = false;
+  bool sent_ = false;
+};
+
+int cmd_profile(int argc, char** argv) {
+  std::string family = "grid", out_path = "ecd_profile.json", timeline_path;
+  std::string workload = "gather";
+  int n = 1024, threads = 1, fault_permille = 0, ring = 4096;
+  double eps = 0.2;
+  std::uint64_t seed = 1;
+  bool distributed = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--family" && i + 1 < argc) {
+      family = argv[++i];
+    } else if (arg == "--n" && i + 1 < argc) {
+      n = std::atoi(argv[++i]);
+    } else if (arg == "--eps" && i + 1 < argc) {
+      eps = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--distributed") {
+      distributed = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--fault-permille" && i + 1 < argc) {
+      fault_permille = std::atoi(argv[++i]);
+    } else if (arg == "--workload" && i + 1 < argc) {
+      workload = argv[++i];
+      if (workload != "gather" && workload != "flood" && workload != "mis") {
+        usage();
+      }
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--timeline" && i + 1 < argc) {
+      timeline_path = argv[++i];
+    } else if (arg == "--ring" && i + 1 < argc) {
+      ring = std::atoi(argv[++i]);
+    } else {
+      usage();
+    }
+  }
+  ecd::graph::Rng rng(seed);
+  const Graph g = make_family(family, n, rng);
+
+  ecd::congest::ExecutionProfiler::Options popt;
+  popt.ring_capacity = ring;
+  ecd::congest::ExecutionProfiler profiler(popt);
+  std::string title;
+  if (workload == "flood") {
+    ecd::congest::NetworkOptions nopt;
+    nopt.num_threads = threads;
+    nopt.profiler = &profiler;
+    if (fault_permille > 0) {
+      nopt.faults.seed = seed;
+      nopt.faults.drop_probability = fault_permille / 1000.0;
+    }
+    ecd::congest::Network net(g, nopt);
+    std::vector<std::unique_ptr<ecd::congest::VertexAlgorithm>> algos;
+    algos.reserve(g.num_vertices());
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      algos.push_back(std::make_unique<ProfileFloodAlgo>(v == 0));
+    }
+    const auto stats = net.run(algos);
+    std::printf("family=%s n=%d m=%d threads=%d rounds=%lld\n", family.c_str(),
+                g.num_vertices(), g.num_edges(), threads,
+                static_cast<long long>(stats.rounds));
+    title = "flood (" + family + ")";
+  } else if (workload == "mis") {
+    ecd::congest::NetworkOptions nopt;
+    nopt.num_threads = threads;
+    nopt.profiler = &profiler;
+    const auto r = ecd::baselines::luby_mis(g, seed, nopt);
+    std::printf("family=%s n=%d m=%d threads=%d mis=%zu\n", family.c_str(),
+                g.num_vertices(), g.num_edges(), threads,
+                r.independent_set.size());
+    title = "luby_mis (" + family + ")";
+  } else {
+    ecd::core::FrameworkOptions fopt;
+    fopt.seed = seed;
+    fopt.profiler = &profiler;
+    fopt.num_threads = threads;
+    if (distributed) {
+      fopt.decomposition_mode = ecd::core::DecompositionMode::kDistributed;
+    }
+    if (fault_permille > 0) {
+      fopt.faults.drop_probability = fault_permille / 1000.0;
+      fopt.faults.seed = seed;
+    }
+    auto p = ecd::core::partition_and_gather(g, eps, fopt);
+    std::vector<std::int64_t> answers(g.num_vertices());
+    for (int v = 0; v < g.num_vertices(); ++v) answers[v] = v;
+    ecd::core::return_results(p, answers, "result return (reversed walks)");
+    std::printf("family=%s n=%d m=%d eps=%.3f threads=%d clusters=%d\n",
+                family.c_str(), g.num_vertices(), g.num_edges(), eps, threads,
+                p.decomposition.num_clusters);
+    title = "partition_and_gather (" + family + ")";
+  }
+
+  const auto summary = profiler.summary();
+  std::printf("%s", ecd::congest::format_profile_table(summary).c_str());
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  ecd::congest::ProfileReportContext ctx;
+  ctx.title = title;
+  ctx.info = {{"workload", workload},
+              {"family", family},
+              {"n", std::to_string(g.num_vertices())},
+              {"m", std::to_string(g.num_edges())},
+              {"eps", std::to_string(eps)},
+              {"seed", std::to_string(seed)},
+              {"threads", std::to_string(threads)},
+              {"fault_permille", std::to_string(fault_permille)}};
+  ecd::congest::write_profile_report(out, profiler, ctx);
+  std::printf("wrote %s (ecd-profile-v1)\n", out_path.c_str());
+  if (!timeline_path.empty()) {
+    std::ofstream tl(timeline_path);
+    if (!tl) {
+      std::fprintf(stderr, "cannot write %s\n", timeline_path.c_str());
+      return 1;
+    }
+    profiler.write_chrome_trace(tl);
+    std::printf("wrote %s (chrome trace, one tid per shard)\n",
+                timeline_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_decompose(const Options& o) {
   const Graph g = load(o.input);
   const auto p = ecd::core::partition_and_gather(g, o.eps, framework_options(o));
@@ -459,6 +648,7 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return cmd_gen(argc, argv);
   if (cmd == "trace") return cmd_trace(argc, argv);
   if (cmd == "report") return cmd_report(argc, argv);
+  if (cmd == "profile") return cmd_profile(argc, argv);
   if (argc < 3) usage();
   const Options o = parse(argc, argv, 2);
   if (cmd == "decompose") return cmd_decompose(o);

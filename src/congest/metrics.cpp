@@ -131,13 +131,19 @@ void MetricsRegistry::record_edge(graph::VertexId from, graph::VertexId to,
 
 void MetricsRegistry::end_run(const RunStats& run_totals,
                               std::int64_t critical_path) {
-  (void)run_totals;  // already accrued round by round
+  // Logical fields were already accrued round by round; the wall-clock
+  // duration only exists per run. It lives in totals_ / phase stats for
+  // the run report's "wall" section but is deliberately left out of
+  // write_stats_json — snapshots stay bit-identical across thread counts
+  // and with profiling on or off (DESIGN.md §13/§14).
+  totals_.duration_ns += run_totals.duration_ns;
   ++runs_;
   cp_total_ += critical_path;
   if (critical_path > cp_longest_) cp_longest_ = critical_path;
   for (const std::size_t i : open_) {
     ++phases_[i].runs;
     phases_[i].critical_path += critical_path;
+    phases_[i].stats.duration_ns += run_totals.duration_ns;
   }
 }
 
@@ -352,7 +358,24 @@ void write_run_report(std::ostream& os, const MetricsRegistry& metrics,
     os << ':';
     json_escape(os, context.info[i].second);
   }
-  os << "},\"metrics\":";
+  // Wall-clock elapsed time lives outside the "metrics" snapshot: the
+  // snapshot is the determinism witness (byte-compared across thread
+  // counts), the wall section is a measurement. Phase durations count
+  // simulated-run wall time accrued while the phase was open; host-side
+  // work between runs is not attributed.
+  os << "},\"wall\":{\"duration_ns\":" << metrics.totals().duration_ns
+     << ",\"phases\":[";
+  {
+    const auto& phases = metrics.phases();
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      if (i) os << ',';
+      os << "{\"name\":";
+      json_escape(os, phases[i].name);
+      os << ",\"depth\":" << phases[i].depth
+         << ",\"duration_ns\":" << phases[i].stats.duration_ns << '}';
+    }
+  }
+  os << "]},\"metrics\":";
   metrics.write_json(os, context.top_k_edges);
   os << "}\n";
 }

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/congest/metrics.h"
+#include "src/congest/profiler.h"
 #include "src/congest/trace.h"
 
 // Force-inline hint for the per-port metrics accounting (hot even at modest
@@ -215,6 +216,10 @@ Network::Network(const Graph& g, NetworkOptions options)
     }
   }
   if (options_.trace) trace_order_.reserve(num_dir_ports_);
+  profiler_ = options_.profiler;
+  // Lane allocation happens here, once per Network — the profiler's round
+  // hooks never allocate (DESIGN.md §10 holds with profiling on).
+  if (profiler_) profiler_->bind(num_shards_);
   metrics_ = options_.metrics;
   if (metrics_) {
     edge_accum_.assign(num_dir_ports_, EdgeAccum{});
@@ -342,9 +347,13 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
     throw std::invalid_argument("need one algorithm per vertex");
   }
   reset_mailboxes();
+  const std::int64_t t0 = ExecutionProfiler::now_ns();
+  if (profiler_) profiler_->begin_run(num_shards_);
   if (metrics_) metrics_begin_run();
-  const RunStats stats =
+  RunStats stats =
       num_shards_ == 1 ? run_serial(algorithms) : run_parallel(algorithms);
+  if (profiler_) profiler_->end_run();
+  stats.duration_ns = ExecutionProfiler::now_ns() - t0;
   if (metrics_) metrics_end_run(stats);
   return stats;
 }
@@ -374,6 +383,7 @@ RunStats Network::run_serial(
     // One round's partial statistics; folded into `stats` (and handed to
     // the observers) once delivery completes.
     ShardAccum racc;
+    if (profiler_) profiler_->compute_begin(0);
     for (VertexId v = 0; v < n_; ++v) {
       if (faults_active_ && r >= crash_round_[v]) {
         // Crash-stop: the vertex never executes again and counts as
@@ -401,6 +411,10 @@ RunStats Network::run_serial(
         assert(algorithms[v]->finished());
       }
     }
+    if (profiler_) {
+      profiler_->compute_end(0);
+      profiler_->deliver_begin(0);
+    }
     // Retire this round's read inboxes BEFORE accounting: the fault hook
     // may move delayed messages from `out` into exactly this buffer (it
     // becomes next round's outbox), and those injections must survive.
@@ -408,8 +422,19 @@ RunStats Network::run_serial(
     // Deliver. Messages already sit in their receivers' slots; what remains
     // is the fault pass (when enabled) and accounting over the ports that
     // carried traffic, then the swap.
+    std::int64_t fault_ns = 0;
     const auto account = [&](int rs) {
-      if (faults_active_) apply_port_faults(rs, out, r, racc);
+      if (faults_active_) {
+        if (profiler_) {
+          // Sub-phase timing is gated on both flags, so fault-free
+          // profiled runs take no extra clock reads per port.
+          const std::int64_t f0 = ExecutionProfiler::now_ns();
+          apply_port_faults(rs, out, r, racc);
+          fault_ns += ExecutionProfiler::now_ns() - f0;
+        } else {
+          apply_port_faults(rs, out, r, racc);
+        }
+      }
       const Message* msgs;
       int cnt;
       if (arena_mode_) {
@@ -464,6 +489,10 @@ RunStats Network::run_serial(
         for (const int rs : bucket) account(rs);
       }
     }
+    if (profiler_) {
+      profiler_->deliver_end(0, fault_ns);
+      profiler_->reduce_begin();
+    }
     stats += racc.stats;
     pending_injected_ += racc.injected_delta;
     if (trace) {
@@ -474,6 +503,10 @@ RunStats Network::run_serial(
       metrics_->record_round(racc.stats);
       metrics_apply_round();
     }
+    if (profiler_) {
+      profiler_->reduce_end();
+      profiler_->round_end();
+    }
     in_ = out;
   }
 }
@@ -481,6 +514,7 @@ RunStats Network::run_serial(
 void Network::compute_shard(
     int s, std::int64_t r,
     std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
+  if (profiler_) profiler_->compute_begin(s);
   ShardAccum& acc = shard_accum_[s];
   acc.unfinished_delta = 0;
   acc.stats.vertices_crashed = 0;
@@ -511,9 +545,12 @@ void Network::compute_shard(
       assert(algorithms[v]->finished());
     }
   }
+  if (profiler_) profiler_->compute_end(s);
 }
 
 void Network::deliver_shard(int t, int out, std::int64_t r) {
+  if (profiler_) profiler_->deliver_begin(t);
+  std::int64_t fault_ns = 0;
   ShardAccum& acc = shard_accum_[t];
   // stats.vertices_crashed and unfinished_delta were written by this
   // shard's compute phase; everything else is this phase's output.
@@ -547,7 +584,17 @@ void Network::deliver_shard(int t, int out, std::int64_t r) {
   }
   for (int s = 0; s < num_shards_; ++s) {
     for (const int rs : active_[out][s * num_shards_ + t]) {
-      if (faults_active_) apply_port_faults(rs, out, r, acc);
+      if (faults_active_) {
+        if (profiler_) {
+          // Gated on both flags: fault-free profiled runs take no extra
+          // clock reads per port.
+          const std::int64_t f0 = ExecutionProfiler::now_ns();
+          apply_port_faults(rs, out, r, acc);
+          fault_ns += ExecutionProfiler::now_ns() - f0;
+        } else {
+          apply_port_faults(rs, out, r, acc);
+        }
+      }
       std::int64_t edge_words = 0;
       const Message* msgs;
       int cnt;
@@ -571,6 +618,7 @@ void Network::deliver_shard(int t, int out, std::int64_t r) {
       mail_[out][port_owner_[rs]] = 1;
     }
   }
+  if (profiler_) profiler_->deliver_end(t, fault_ns);
 }
 
 void Network::apply_port_faults(int rs, int out, std::int64_t r,
@@ -732,12 +780,16 @@ RunStats Network::run_parallel(
     // exception (CongestionError, bad port) quiesces at the pool barrier
     // and rethrows here; reset_mailboxes() on the next run() clears the
     // partial round, so the Network stays reusable.
+    // The dispatch mark is written before the pool publishes the job under
+    // its mutex, so every shard's compute_begin reads it happens-after.
+    if (profiler_) profiler_->mark_dispatch();
     pool_->run([&](int s) { compute_shard(s, r, algorithms); });
     // Phase two: per receiving shard, retire the vacated buffer's ports,
     // apply fault decisions, and account the traffic.
     pool_->run([&](int t) { deliver_shard(t, out, r); });
     // Barrier reduction in shard order: the per-round RunStats is combined
     // once so it can feed both the run totals and the metrics registry.
+    if (profiler_) profiler_->reduce_begin();
     RunStats round;
     for (const ShardAccum& acc : shard_accum_) {
       round += acc.stats;
@@ -748,6 +800,10 @@ RunStats Network::run_parallel(
     if (metrics_) {
       metrics_->record_round(round);
       metrics_apply_round();
+    }
+    if (profiler_) {
+      profiler_->reduce_end();
+      profiler_->round_end();
     }
     in_ = out;
   }

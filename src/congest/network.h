@@ -32,8 +32,9 @@
 
 namespace ecd::congest {
 
-class TraceSink;        // src/congest/trace.h
-class MetricsRegistry;  // src/congest/metrics.h
+class TraceSink;           // src/congest/trace.h
+class MetricsRegistry;     // src/congest/metrics.h
+class ExecutionProfiler;   // src/congest/profiler.h
 class Network;
 
 class CongestionError : public std::runtime_error {
@@ -96,6 +97,13 @@ struct NetworkOptions {
   // path. Fault schedules are a pure function of (faults.seed, round, port,
   // slot) and therefore bit-identical across num_threads values.
   FaultPlan faults;
+  // Wall-clock execution profiler (src/congest/profiler.h, DESIGN.md §14):
+  // when set, every round's shard phases — compute, delivery, fault pass,
+  // reduction, barrier wait — are timestamped into the profiler's
+  // per-shard ring buffers. Purely observational: results, metrics and
+  // trace snapshots are bit-identical with or without it, and the round
+  // path stays allocation-free. Works at every num_threads value.
+  ExecutionProfiler* profiler = nullptr;
 };
 
 struct RunStats {
@@ -116,6 +124,12 @@ struct RunStats {
   std::int64_t messages_duplicated = 0;  // extra copies delivered
   std::int64_t messages_delayed = 0;     // messages chosen for delay
   std::int64_t vertices_crashed = 0;     // crash events that fired
+  // Wall-clock duration of the run (steady_clock). The only
+  // non-deterministic field: everything above is bit-identical across
+  // thread counts, this one is a measurement. MetricsRegistry snapshots
+  // deliberately exclude it (DESIGN.md §13/§14); run reports surface it in
+  // their separate "wall" section.
+  std::int64_t duration_ns = 0;
 
   // Combines statistics the way consecutive (or per-shard partial) runs
   // combine: every count adds, max_edge_load takes the max. Used verbatim
@@ -132,6 +146,7 @@ struct RunStats {
     messages_duplicated += other.messages_duplicated;
     messages_delayed += other.messages_delayed;
     vertices_crashed += other.vertices_crashed;
+    duration_ns += other.duration_ns;
     return *this;
   }
 };
@@ -337,6 +352,10 @@ class Network {
   // owning shard and applied on the caller thread at the barrier, in
   // shard order, so the result is thread-count independent.
   MetricsRegistry* metrics_ = nullptr;
+  // Wall-clock profiler (DESIGN.md §14); null when options_.profiler is.
+  // The round loops bracket each phase with its hooks — every branch on it
+  // is a cached-pointer check, like metrics_.
+  ExecutionProfiler* profiler_ = nullptr;
   // Resets the per-run accumulators and opens a registry run.
   void metrics_begin_run();
   // Accounts one delivered port (shard `shard` owns the receiver) in one

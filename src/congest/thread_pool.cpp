@@ -68,10 +68,23 @@ void ThreadPool::dispatch(void (*fn)(void*, int), void* ctx) {
     ++generation_;
   }
   start_cv_.notify_all();
-  run_shard(0);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    // Once the generation is published, this dispatch must quiesce at the
+    // barrier before control can leave — even if the caller's slice of the
+    // job (or anything else on this path) exits via exception. Returning
+    // early would let the next dispatch overwrite pending_ while workers
+    // of the stale generation still decrement it; the count goes negative,
+    // the `pending_ == 0` predicate can never hold again, and every thread
+    // ends up parked at the generation barrier. The scope guard makes the
+    // wait unconditional: it runs on normal return and on unwind alike.
+    struct Quiesce {
+      ThreadPool* pool;
+      ~Quiesce() {
+        std::unique_lock<std::mutex> lock(pool->mu_);
+        pool->done_cv_.wait(lock, [&] { return pool->pending_ == 0; });
+      }
+    } quiesce{this};
+    run_shard(0);
   }
   // Quiesced: every shard has returned. Rethrow the lowest-numbered
   // capture — shards are contiguous vertex ranges, so this is the same

@@ -30,6 +30,12 @@ namespace ecd::congest {
 // thrown inside a shard is captured, the dispatch still quiesces at the
 // barrier (every other shard runs to completion), and the exception from
 // the lowest-numbered throwing shard is rethrown on the calling thread.
+// The quiesce is unconditional (a scope guard inside dispatch), so no
+// exception on the dispatch path — a throwing shard function, a throwing
+// caller-side reduction between dispatches, an unwinding caller slice —
+// can desynchronize the generation/pending protocol and leave workers
+// parked at the generation barrier: the pool stays reusable and
+// destructible after any of them (regression-tested in substrate_test).
 class ThreadPool {
  public:
   // Maps the NetworkOptions::num_threads convention to a concrete degree

@@ -124,6 +124,7 @@ Partition partition_and_gather(const Graph& g, double eps,
   congest::NetworkOptions control_net;  // bandwidth-1 control traffic
   control_net.trace = options.trace;
   control_net.metrics = options.metrics;
+  control_net.profiler = options.profiler;
   control_net.num_threads = options.num_threads;
 
   // Leader election: the paper elects a maximum-cluster-degree vertex.
@@ -178,6 +179,7 @@ Partition partition_and_gather(const Graph& g, double eps,
   gopt.seed = graph::splitmix64(options.seed ^ 0x2545F4914F6CDD1DULL);
   gopt.net.trace = options.trace;
   gopt.net.metrics = options.metrics;
+  gopt.net.profiler = options.profiler;
   gopt.net.num_threads = options.num_threads;
   gopt.net.bandwidth_tokens =
       options.walk_bandwidth > 0

@@ -26,7 +26,8 @@
 #include "src/graph/subgraph.h"
 
 namespace ecd::congest {
-class MetricsRegistry;  // src/congest/metrics.h
+class ExecutionProfiler;  // src/congest/profiler.h
+class MetricsRegistry;    // src/congest/metrics.h
 }  // namespace ecd::congest
 
 namespace ecd::core {
@@ -70,6 +71,12 @@ struct FrameworkOptions {
   // phase opens a "phase:*" MetricsPhase. Unlike `trace`, works at every
   // `num_threads` value with bit-identical snapshots.
   congest::MetricsRegistry* metrics = nullptr;
+  // Wall-clock execution profiler (src/congest/profiler.h, DESIGN.md §14):
+  // when set, every simulated phase (election, orientation, gather) runs
+  // with per-shard phase/barrier timestamping. Purely observational —
+  // results and metrics snapshots are unchanged — and valid at every
+  // num_threads value.
+  congest::ExecutionProfiler* profiler = nullptr;
   // Worker threads for the simulated phases (NetworkOptions::num_threads):
   // 1 = serial (default), 0 = hardware concurrency, k = k shards.
   int num_threads = 1;

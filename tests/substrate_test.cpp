@@ -7,12 +7,14 @@
 // pre-arena simulator.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <stdexcept>
 #include <string>
 
 #include "src/baselines/luby_mis.h"
 #include "src/congest/network.h"
 #include "src/congest/primitives.h"
+#include "src/congest/thread_pool.h"
 #include "src/congest/trace.h"
 #include "src/graph/generators.h"
 
@@ -558,6 +560,76 @@ TEST(ErrorRecovery, ParallelBadPortAbortThenFreshRun) {
   NetworkOptions opt;
   opt.num_threads = 2;
   abort_then_recover<LateBadPortAlgo>(opt);
+}
+
+// --- ThreadPool barrier integrity under exceptions --------------------------
+//
+// Regression for the generation-barrier protocol: a dispatch whose job
+// throws — in any shard, including the caller's own slice — must still
+// quiesce before control leaves dispatch(). Returning early would let the
+// next dispatch overwrite pending_ while stale workers still decrement it,
+// driving the count negative and parking every thread forever. The
+// workload below is shaped like the simulator's BSP round: a compute
+// dispatch fills per-shard metric rows, then a "reduction" dispatch merges
+// them — and the reducer throws.
+
+TEST(ThreadPoolBarrier, ThrowingMetricsReducerLeavesPoolReusable) {
+  constexpr int kShards = 4;
+  ThreadPool pool(kShards);
+  std::array<std::int64_t, kShards> rows{};
+  pool.run([&](int s) { rows[s] = s + 1; });  // compute phase
+
+  // Reduction phase: a worker-shard reducer fails while merging rows.
+  EXPECT_THROW(pool.run([&](int s) {
+    if (s == 2) throw std::runtime_error("metrics reducer failed");
+    rows[s] += rows[s];
+  }),
+               std::runtime_error);
+
+  // Same failure from the caller's shard (the slice dispatch() itself runs).
+  EXPECT_THROW(pool.run([&](int s) {
+    if (s == 0) throw std::runtime_error("caller-side reducer failed");
+  }),
+               std::runtime_error);
+
+  // The pool must have quiesced both times: the next dispatch runs every
+  // shard exactly once and the barrier still holds.
+  std::array<std::int64_t, kShards> ran{};
+  pool.run([&](int s) { ran[s] = 1; });
+  for (int s = 0; s < kShards; ++s) EXPECT_EQ(ran[s], 1) << "shard " << s;
+
+  // Stress the protocol: alternate throwing and clean dispatches. Any
+  // generation/pending desync surfaces as a hang (test timeout) or a
+  // missed shard.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_THROW(pool.run([&](int s) {
+      if (s == i % kShards) throw std::runtime_error("flaky reducer");
+    }),
+                 std::runtime_error);
+    std::array<std::int64_t, kShards> ok{};
+    pool.run([&](int s) { ok[s] = 1; });
+    for (int s = 0; s < kShards; ++s) ASSERT_EQ(ok[s], 1);
+  }
+  // Destructor joins workers; reaching scope end cleanly is part of the
+  // regression (a parked worker would hang the join).
+}
+
+// Every shard throwing at once: dispatch must surface the lowest-numbered
+// capture (serial order) and clear the rest.
+TEST(ThreadPoolBarrier, LowestShardExceptionWinsWhenAllThrow) {
+  ThreadPool pool(4);
+  try {
+    pool.run([](int s) {
+      throw std::runtime_error("shard " + std::to_string(s));
+    });
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 0");
+  }
+  // A later clean dispatch must not rethrow a stale capture.
+  std::array<std::int64_t, 4> ran{};
+  pool.run([&](int s) { ran[s] = 1; });
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(ran[s], 1);
 }
 
 // --- Parity fixture --------------------------------------------------------

@@ -164,6 +164,44 @@ TEST(BenchCompare, RejectsWrongSchema) {
   EXPECT_THROW(compare_bench_snapshots(ok, wrong), std::runtime_error);
 }
 
+TEST(BenchCompare, DeltaTablePrintedOnPass) {
+  const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"}}));
+  const Value dip = parse(snapshot({{"BM_A", R"("rounds_per_sec":950)"}}));
+  const CompareResult r = compare_bench_snapshots(base, dip);
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].counter, "rounds_per_sec");
+  EXPECT_TRUE(r.deltas[0].gated);
+  EXPECT_DOUBLE_EQ(r.deltas[0].baseline, 1000);
+  EXPECT_DOUBLE_EQ(r.deltas[0].current, 950);
+  // The table is part of the pass output, not only the failure output.
+  const std::string text = format_compare_result(r);
+  EXPECT_NE(text.find("benchmark"), std::string::npos);
+  EXPECT_NE(text.find("rounds_per_sec"), std::string::npos);
+  EXPECT_NE(text.find("-5.0%"), std::string::npos);
+  EXPECT_NE(text.find("OK"), std::string::npos);
+}
+
+TEST(BenchCompare, ProfileCountersAreInformationalDeltas) {
+  const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"}}));
+  // Current snapshot taken under --ecd_profile: carries barrier-wait
+  // fraction the baseline lacks. Must surface in the table, never gate.
+  const Value cur = parse(snapshot(
+      {{"BM_A",
+        R"("rounds_per_sec":990,"profile_barrier_wait_fraction":0.25)"}}));
+  const CompareResult r = compare_bench_snapshots(base, cur);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.counters_compared, 1);  // profile_* is not a gated counter
+  ASSERT_EQ(r.deltas.size(), 2u);
+  EXPECT_EQ(r.deltas[1].counter, "profile_barrier_wait_fraction");
+  EXPECT_FALSE(r.deltas[1].gated);
+  EXPECT_FALSE(r.deltas[1].has_baseline);
+  EXPECT_DOUBLE_EQ(r.deltas[1].current, 0.25);
+  const std::string text = format_compare_result(r);
+  EXPECT_NE(text.find("profile_barrier_wait_fraction"), std::string::npos);
+  EXPECT_NE(text.find("info"), std::string::npos);
+}
+
 TEST(BenchCompare, FormatMentionsEveryIssue) {
   const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"},
                                      {"BM_B", R"("rounds_per_sec":500)"}}));

@@ -8,6 +8,7 @@
 //   ./build/tools/bench_compare bench/baseline.json BENCH_network.json
 #include "tools/bench_compare.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -95,6 +96,7 @@ CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
       }
       const double cur_value = cit->second;
       ++result.counters_compared;
+      result.deltas.push_back({name, cname, true, true, base_value, cur_value});
       if (is_throughput) {
         const double floor = base_value * (1.0 - options.throughput_threshold);
         if (cur_value < floor) {
@@ -115,6 +117,17 @@ CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
         }
       }
     }
+    // Informational deltas: profile_* counters from the execution profiler
+    // (--ecd_profile). Never gated — wall-clock fractions vary with the
+    // machine — but surfaced so the table explains a throughput delta.
+    for (const auto& [cname, cur_value] : cur.counters) {
+      if (cname.rfind("profile_", 0) != 0) continue;
+      const auto bit = base.counters.find(cname);
+      const bool has_base = bit != base.counters.end();
+      result.deltas.push_back(
+          {name, cname, false, has_base, has_base ? bit->second : 0.0,
+           cur_value});
+    }
   }
   if (result.rows_compared == 0) {
     result.issues.push_back(
@@ -130,6 +143,39 @@ CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
 
 std::string format_compare_result(const CompareResult& result) {
   std::ostringstream os;
+  if (!result.deltas.empty()) {
+    std::size_t row_w = std::string_view("benchmark").size();
+    std::size_t counter_w = std::string_view("counter").size();
+    for (const CounterDelta& d : result.deltas) {
+      row_w = std::max(row_w, d.row.size());
+      counter_w = std::max(counter_w, d.counter.size());
+    }
+    char line[512];
+    std::snprintf(line, sizeof line, "%-*s  %-*s  %12s  %12s  %8s\n",
+                  static_cast<int>(row_w), "benchmark",
+                  static_cast<int>(counter_w), "counter", "baseline", "current",
+                  "delta");
+    os << line;
+    for (const CounterDelta& d : result.deltas) {
+      std::string base_s = d.has_baseline ? fmt(d.baseline) : "-";
+      std::string delta_s;
+      if (!d.gated) {
+        delta_s = "info";
+      } else if (d.baseline != 0.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%+.1f%%",
+                      (d.current - d.baseline) / d.baseline * 100.0);
+        delta_s = buf;
+      } else {
+        delta_s = fmt(d.current - d.baseline);
+      }
+      std::snprintf(line, sizeof line, "%-*s  %-*s  %12s  %12s  %8s\n",
+                    static_cast<int>(row_w), d.row.c_str(),
+                    static_cast<int>(counter_w), d.counter.c_str(),
+                    base_s.c_str(), fmt(d.current).c_str(), delta_s.c_str());
+      os << line;
+    }
+  }
   for (const CompareIssue& issue : result.issues) {
     os << (issue.fatal ? "FAIL" : "warn");
     if (!issue.row.empty()) {

@@ -41,12 +41,29 @@ struct CompareIssue {
   std::string message;
 };
 
+// One baseline-vs-current counter pairing, collected for every common row —
+// on passes as well as failures, so the CI log always shows how close each
+// benchmark sat to its floor. Gated deltas cover the regression-checked
+// counters (`*_per_sec`, `allocs_per_round`); informational deltas cover
+// `profile_*` counters when the current snapshot was taken under
+// --ecd_profile (barrier-wait fraction, load imbalance — the baseline
+// usually lacks them, hence has_baseline).
+struct CounterDelta {
+  std::string row;
+  std::string counter;
+  bool gated = false;
+  bool has_baseline = false;
+  double baseline = 0.0;
+  double current = 0.0;
+};
+
 struct CompareResult {
   // ok = at least one common row and no fatal issue.
   bool ok = false;
   int rows_compared = 0;
   int counters_compared = 0;
   std::vector<CompareIssue> issues;
+  std::vector<CounterDelta> deltas;  // snapshot order: row, then counter
 };
 
 // `baseline` and `current` are parsed ecd-bench-v1 documents (jsonmin).
@@ -56,8 +73,9 @@ CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
                                       const jsonmin::Value& current,
                                       const CompareOptions& options = {});
 
-// Formats the result as the text the CLI prints (one line per issue plus a
-// summary line).
+// Formats the result as the text the CLI prints: the per-benchmark delta
+// table (printed on pass and fail alike), one line per issue, then a
+// summary line.
 std::string format_compare_result(const CompareResult& result);
 
 }  // namespace ecd::tools
