@@ -217,6 +217,7 @@ void run_substrate_bench(benchmark::State& state, const graph::Graph& g,
   state.counters["n"] = g.num_vertices();
   state.counters["m"] = g.num_edges();
   state.counters["threads"] = opt.num_threads;
+  bench::register_rss_counter(state);
   if (bench::profile_requested()) {
     bench::register_profile_counters(state, profiler);
   }
@@ -313,18 +314,28 @@ void BM_TreeClimb(benchmark::State& state) {
 }
 
 // The n sweep stays single-threaded (the serial baseline every other
-// experiment rides on); the threads sweep runs at the largest n, where
+// experiment rides on); the threads sweep runs at the large n rows, where
 // per-round work amortizes the barrier, plus one small-n row the CI smoke
-// exercises at 4 threads.
+// exercises at 4 threads. The n ≥ 1M rows are the multi-million-vertex
+// axis (EXPERIMENTS.md E17): flood at 1M/5M is the sparse-round fast
+// path's home turf — its wavefront touches ~2·side vertices per round, so
+// the per-round cost is the worklist, not n — and the threads sweep at 1M
+// is the speedup curve the CI scaling smoke asserts on multi-core runners.
 BENCHMARK(BM_Flood)
     ->ArgNames({"n", "threads", "metrics"})
     ->Args({1024, 1, 0})
     ->Args({10240, 1, 0})
     ->Args({102400, 1, 0})
+    ->Args({1048576, 1, 0})
+    ->Args({5000000, 1, 0})
     ->Args({1024, 4, 0})
     ->Args({102400, 2, 0})
     ->Args({102400, 4, 0})
     ->Args({102400, 8, 0})
+    ->Args({1048576, 2, 0})
+    ->Args({1048576, 4, 0})
+    ->Args({1048576, 8, 0})
+    ->Args({5000000, 4, 0})
     ->Args({1024, 1, 1})
     ->Args({1024, 4, 1})
     ->Args({102400, 1, 1})
@@ -336,10 +347,12 @@ BENCHMARK(BM_PingPong)
     ->Args({1024, 64, 1, 0})
     ->Args({10240, 64, 1, 0})
     ->Args({102400, 16, 1, 0})
+    ->Args({1048576, 8, 1, 0})
     ->Args({1024, 64, 4, 0})
     ->Args({102400, 16, 2, 0})
     ->Args({102400, 16, 4, 0})
     ->Args({102400, 16, 8, 0})
+    ->Args({1048576, 8, 4, 0})
     ->Args({1024, 64, 1, 1})
     ->Args({1024, 64, 4, 1})
     ->Args({102400, 16, 1, 1})

@@ -18,6 +18,10 @@
 #include <string_view>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "src/congest/profiler.h"
 #include "src/congest/trace.h"
 #include "src/graph/generators.h"
@@ -104,6 +108,32 @@ inline void register_trace_counters(benchmark::State& state,
     if (name.rfind("phase:", 0) == 0) name = name.substr(6);
     state.counters["words[" + name + "]"] = static_cast<double>(s.words);
   }
+}
+
+// --- Peak memory ------------------------------------------------------------
+
+// Peak resident set size of this process in MiB, from getrusage. Process-
+// wide and monotonic — a row measured after a bigger row inherits its peak —
+// so it is an informational counter and an upper-bound sanity check for the
+// multi-million-vertex rows, never a regression gate. Returns 0 where
+// getrusage is unavailable.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KiB on Linux
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+// Registers the current peak RSS on a benchmark row (see peak_rss_mb).
+inline void register_rss_counter(benchmark::State& state) {
+  state.counters["peak_rss_mb"] = peak_rss_mb();
 }
 
 // --- Allocation accounting ------------------------------------------------

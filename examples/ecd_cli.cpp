@@ -59,6 +59,10 @@
 //                                            timeline (omitted = not written)
 //                  --ring <k>                per-shard round samples kept for
 //                                            the timeline (default 4096)
+//                  --sparse-threshold <k>    serial-fallback cutoff: rounds
+//                                            with <= k active vertices run
+//                                            on the calling thread (default
+//                                            256; 0 = always dispatch)
 //
 // families for `gen`/`trace`: grid, tri, planar, outer, twotree, tree,
 // torus, hypercube, expander.
@@ -417,6 +421,7 @@ int cmd_profile(int argc, char** argv) {
   std::string family = "grid", out_path = "ecd_profile.json", timeline_path;
   std::string workload = "gather";
   int n = 1024, threads = 1, fault_permille = 0, ring = 4096;
+  int sparse_threshold = ecd::congest::NetworkOptions{}.sparse_serial_threshold;
   double eps = 0.2;
   std::uint64_t seed = 1;
   bool distributed = false;
@@ -447,6 +452,8 @@ int cmd_profile(int argc, char** argv) {
       timeline_path = argv[++i];
     } else if (arg == "--ring" && i + 1 < argc) {
       ring = std::atoi(argv[++i]);
+    } else if (arg == "--sparse-threshold" && i + 1 < argc) {
+      sparse_threshold = std::atoi(argv[++i]);
     } else {
       usage();
     }
@@ -461,6 +468,7 @@ int cmd_profile(int argc, char** argv) {
   if (workload == "flood") {
     ecd::congest::NetworkOptions nopt;
     nopt.num_threads = threads;
+    nopt.sparse_serial_threshold = sparse_threshold;
     nopt.profiler = &profiler;
     if (fault_permille > 0) {
       nopt.faults.seed = seed;
@@ -480,6 +488,7 @@ int cmd_profile(int argc, char** argv) {
   } else if (workload == "mis") {
     ecd::congest::NetworkOptions nopt;
     nopt.num_threads = threads;
+    nopt.sparse_serial_threshold = sparse_threshold;
     nopt.profiler = &profiler;
     const auto r = ecd::baselines::luby_mis(g, seed, nopt);
     std::printf("family=%s n=%d m=%d threads=%d mis=%zu\n", family.c_str(),
@@ -491,6 +500,7 @@ int cmd_profile(int argc, char** argv) {
     fopt.seed = seed;
     fopt.profiler = &profiler;
     fopt.num_threads = threads;
+    fopt.sparse_serial_threshold = sparse_threshold;
     if (distributed) {
       fopt.decomposition_mode = ecd::core::DecompositionMode::kDistributed;
     }

@@ -27,10 +27,21 @@ using graph::VertexId;
 
 namespace {
 
-// Ceiling on preallocated arena slots per buffer. An enforced network whose
-// 2m * bandwidth_tokens slot count exceeds this falls back to per-port
-// vectors rather than committing to a multi-gigabyte slab.
-constexpr std::int64_t kMaxArenaSlots = std::int64_t{1} << 22;
+// Ceiling on each preallocated arena buffer, in bytes. An enforced network
+// whose 2m * bandwidth_tokens * sizeof(Message) footprint exceeds this
+// falls back to per-port vectors rather than committing to an unreasonable
+// slab. 2 GiB per buffer admits the n=5M bench axis (20M directed ports at
+// ~72 bytes/slot ≈ 1.4 GiB) while keeping a double-buffered Network within
+// the memory of a stock CI runner.
+constexpr std::int64_t kMaxArenaBytes = std::int64_t{2} << 30;
+const std::int64_t kMaxArenaSlots =
+    kMaxArenaBytes / static_cast<std::int64_t>(sizeof(Message));
+
+// Minimum per-round work weight (directed ports + vertices) that justifies
+// one extra shard when num_threads resolves automatically (0 = hardware
+// concurrency). A worker whose shard is lighter than this spends more time
+// at the round barriers than inside them.
+constexpr std::int64_t kAutoShardMinWeight = 16384;
 
 std::string describe_violation(CongestionError::Kind kind, std::int64_t round,
                                VertexId from, VertexId to, int used,
@@ -84,28 +95,27 @@ Network::Network(const Graph& g, NetworkOptions options)
   num_dir_ports_ = port_base_[n_];
 
   // Pair up the two directed ports of every edge: messages sent on gp are
-  // delivered at reverse_slot_[gp].
+  // delivered at reverse_slot_[gp]. Each edge is visited exactly twice in
+  // the vertex sweep, so one int of scratch per edge (the first visit's
+  // port) pairs them — half the temporary footprint of the old
+  // pair-per-edge table, which mattered once n reached the millions.
   reverse_slot_.assign(num_dir_ports_, -1);
   port_owner_.resize(num_dir_ports_);
   {
-    std::vector<std::pair<int, int>> edge_ports(g.num_edges(), {-1, -1});
+    std::vector<int> first_port(g.num_edges(), -1);
     for (VertexId v = 0; v < n_; ++v) {
       const auto eids = g.incident_edges(v);
       for (int i = 0; i < static_cast<int>(eids.size()); ++i) {
         const int gp = port_base_[v] + i;
         port_owner_[gp] = v;
-        auto& [gp_u, gp_v] = edge_ports[eids[i]];
-        if (g.edge(eids[i]).u == v) {
-          gp_u = gp;
+        int& fp = first_port[eids[i]];
+        if (fp < 0) {
+          fp = gp;
         } else {
-          gp_v = gp;
+          reverse_slot_[fp] = gp;
+          reverse_slot_[gp] = fp;
         }
       }
-    }
-    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
-      const auto [gp_u, gp_v] = edge_ports[e];
-      reverse_slot_[gp_u] = gp_v;
-      reverse_slot_[gp_v] = gp_u;
     }
   }
   port_peer_.resize(num_dir_ports_);
@@ -135,6 +145,15 @@ Network::Network(const Graph& g, NetworkOptions options)
   }
   // Static vertex sharding (DESIGN.md §11).
   num_shards_ = ThreadPool::resolve(options_.num_threads);
+  if (options_.num_threads < 1) {
+    // Automatic resolution clamps to what the graph can feed: a shard
+    // below kAutoShardMinWeight of per-round work costs more in barrier
+    // latency than it recovers in parallelism, so tiny graphs run with
+    // fewer workers (often serially) even on wide machines.
+    const std::int64_t weight = static_cast<std::int64_t>(num_dir_ports_) + n_;
+    num_shards_ = static_cast<int>(std::min<std::int64_t>(
+        num_shards_, std::max<std::int64_t>(1, weight / kAutoShardMinWeight)));
+  }
   num_shards_ = std::min(num_shards_, std::max(1, n_));
   shard_begin_.assign(num_shards_ + 1, 0);
   {
@@ -237,6 +256,39 @@ Network::Network(const Graph& g, NetworkOptions options)
     }
   }
   finished_.assign(n_, 0);
+
+  // Sparse fast path state (DESIGN.md §15): per-parity, per-shard active
+  // worklists reserved to the shard's vertex count (appends never
+  // allocate), the per-vertex queued flags that dedup them, and the
+  // per-round membership scratch.
+  for (int b = 0; b < 2; ++b) {
+    worklist_[b].resize(num_shards_);
+    for (int s = 0; s < num_shards_; ++s) {
+      worklist_[b][s].reserve(shard_begin_[s + 1] - shard_begin_[s]);
+    }
+    queued_[b].assign(n_, 0);
+  }
+  member_.assign(num_shards_, 0);
+  member_rank_.assign(num_shards_, -1);
+  orphans_.reserve(num_shards_);
+  // Crash events bucketed by owning shard, sorted by round: one event per
+  // crashed vertex (crash_round_ already keeps the earliest plan entry),
+  // ties in vertex order like the old full-sweep accounting.
+  crash_sched_.resize(num_shards_);
+  crash_cursor_.assign(num_shards_, 0);
+  if (faults_active_) {
+    for (int s = 0; s < num_shards_; ++s) {
+      for (VertexId v = shard_begin_[s]; v < shard_begin_[s + 1]; ++v) {
+        if (crash_round_[v] != std::numeric_limits<std::int64_t>::max()) {
+          crash_sched_[s].push_back({crash_round_[v], v});
+        }
+      }
+      std::stable_sort(crash_sched_[s].begin(), crash_sched_[s].end(),
+                       [](const CrashSched& a, const CrashSched& b) {
+                         return a.round < b.round;
+                       });
+    }
+  }
 }
 
 PortInbox Context::inbox(int port) const {
@@ -324,6 +376,27 @@ void Network::reset_mailboxes() {
   pending_injected_ = 0;
 }
 
+void Network::prime_worklists() {
+  // Stale lists (an aborted run unwinds mid-round) are drained through
+  // their own entries so the queued flags never need an O(n) sweep.
+  for (int b = 0; b < 2; ++b) {
+    for (int s = 0; s < num_shards_; ++s) {
+      for (const VertexId v : worklist_[b][s]) queued_[b][v] = 0;
+      worklist_[b][s].clear();
+    }
+  }
+  // Round 0 precedes any message exchange: every vertex steps once, and
+  // the round-0 compute re-queues exactly the vertices still in play.
+  for (int s = 0; s < num_shards_; ++s) {
+    std::vector<VertexId>& wl = worklist_[in_][s];
+    for (VertexId v = shard_begin_[s]; v < shard_begin_[s + 1]; ++v) {
+      queued_[in_][v] = 1;
+      wl.push_back(v);
+    }
+  }
+  std::fill(crash_cursor_.begin(), crash_cursor_.end(), std::size_t{0});
+}
+
 void Network::retire_inbox_buffer() {
   for (std::vector<int>& bucket : active_[in_]) {
     for (const int gp : bucket) {
@@ -347,6 +420,7 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
     throw std::invalid_argument("need one algorithm per vertex");
   }
   reset_mailboxes();
+  prime_worklists();
   const std::int64_t t0 = ExecutionProfiler::now_ns();
   if (profiler_) profiler_->begin_run(num_shards_);
   if (metrics_) metrics_begin_run();
@@ -379,99 +453,82 @@ RunStats Network::run_serial(
       throw std::runtime_error("network: max_rounds exceeded");
     }
     const int out = 1 - in_;
-    const std::vector<char>& mail_in = mail_[in_];
-    // One round's partial statistics; folded into `stats` (and handed to
-    // the observers) once delivery completes.
-    ShardAccum racc;
+    // One round's partial statistics (num_shards_ == 1 here, so shard 0's
+    // accumulator is the round's); folded into `stats` and handed to the
+    // observers once delivery completes.
+    ShardAccum& racc = shard_accum_[0];
     if (profiler_) profiler_->compute_begin(0);
-    for (VertexId v = 0; v < n_; ++v) {
-      if (faults_active_ && r >= crash_round_[v]) {
-        // Crash-stop: the vertex never executes again and counts as
-        // finished for termination; messages it already sent (and mail
-        // still in flight toward it) are unaffected.
-        if (r == crash_round_[v]) ++racc.stats.vertices_crashed;
-        if (!finished_[v]) {
-          finished_[v] = 1;
-          --unfinished;
-        }
-        continue;
-      }
-      Context& ctx = contexts_[v];
-      ctx.round_ = r;
-      algorithms[v]->round(ctx);
-      if (!finished_[v] || mail_in[v]) {
-        const char f = algorithms[v]->finished() ? 1 : 0;
-        if (f != finished_[v]) {
-          finished_[v] = f;
-          unfinished += f ? -1 : 1;
-        }
-      } else {
-        // Quiescence contract (VertexAlgorithm::finished): a finished
-        // vertex that received no mail must stay finished.
-        assert(algorithms[v]->finished());
-      }
-    }
+    compute_shard(0, r, algorithms);
     if (profiler_) {
       profiler_->compute_end(0);
       profiler_->deliver_begin(0);
     }
-    // Retire this round's read inboxes BEFORE accounting: the fault hook
-    // may move delayed messages from `out` into exactly this buffer (it
-    // becomes next round's outbox), and those injections must survive.
-    retire_inbox_buffer();
-    // Deliver. Messages already sit in their receivers' slots; what remains
-    // is the fault pass (when enabled) and accounting over the ports that
-    // carried traffic, then the swap.
     std::int64_t fault_ns = 0;
-    const auto account = [&](int rs) {
-      if (faults_active_) {
-        if (profiler_) {
-          // Sub-phase timing is gated on both flags, so fault-free
-          // profiled runs take no extra clock reads per port.
-          const std::int64_t f0 = ExecutionProfiler::now_ns();
-          apply_port_faults(rs, out, r, racc);
-          fault_ns += ExecutionProfiler::now_ns() - f0;
-        } else {
-          apply_port_faults(rs, out, r, racc);
+    if (!trace) {
+      fault_ns = deliver_shard(0, out, r);
+    } else {
+      // Traced delivery keeps its own loop: edges replay in sender
+      // (vertex, port) order — the order the pre-arena simulator emitted
+      // and trace fixtures were recorded in — and every message becomes an
+      // event. The sort key is the sender's global port, packed above the
+      // receiver port so a plain integer sort (no comparator indirection)
+      // yields the replay order directly.
+      racc.stats.messages_sent = 0;
+      racc.stats.words_sent = 0;
+      racc.stats.max_edge_load = 0;
+      racc.stats.messages_dropped = 0;
+      racc.stats.messages_duplicated = 0;
+      racc.stats.messages_delayed = 0;
+      racc.injected_delta = 0;
+      // Retire this round's read inboxes BEFORE accounting: the fault hook
+      // may move delayed messages from `out` into exactly this buffer (it
+      // becomes next round's outbox), and those injections must survive.
+      retire_inbox_buffer();
+      const auto account = [&](int rs) {
+        if (faults_active_) {
+          if (profiler_) {
+            // Sub-phase timing is gated on both flags, so fault-free
+            // profiled runs take no extra clock reads per port.
+            const std::int64_t f0 = ExecutionProfiler::now_ns();
+            apply_port_faults(rs, out, r, racc);
+            fault_ns += ExecutionProfiler::now_ns() - f0;
+          } else {
+            apply_port_faults(rs, out, r, racc);
+          }
         }
-      }
-      const Message* msgs;
-      int cnt;
-      if (arena_mode_) {
-        msgs = slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
-        cnt = counts_[out][rs];
-      } else {
-        const auto& box = boxes_[out][rs];
-        msgs = box.data();
-        cnt = static_cast<int>(box.size());
-      }
-      if (cnt == 0) return;  // every message on the port dropped or delayed
-      std::int64_t edge_words;
-      if (metrics_) {
-        edge_words = metrics_account_port(0, rs, msgs, cnt, r);
-      } else {
-        edge_words = 0;
-        for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
-      }
-      racc.stats.messages_sent += cnt;
-      racc.stats.words_sent += edge_words;
-      racc.stats.max_edge_load = std::max(racc.stats.max_edge_load, cnt);
-      const VertexId to = port_owner_[rs];
-      mail_[out][to] = 1;
-      if (trace) {
+        const Message* msgs;
+        int cnt;
+        if (arena_mode_) {
+          msgs = slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
+          cnt = counts_[out][rs];
+        } else {
+          const auto& box = boxes_[out][rs];
+          msgs = box.data();
+          cnt = static_cast<int>(box.size());
+        }
+        if (cnt == 0) return;  // every message on the port dropped/delayed
+        std::int64_t edge_words;
+        if (metrics_) {
+          edge_words = metrics_account_port(0, rs, msgs, cnt, r);
+        } else {
+          edge_words = 0;
+          for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
+        }
+        racc.stats.messages_sent += cnt;
+        racc.stats.words_sent += edge_words;
+        racc.stats.max_edge_load = std::max(racc.stats.max_edge_load, cnt);
+        const VertexId to = port_owner_[rs];
+        mail_[out][to] = 1;
+        if (!queued_[out][to]) {
+          queued_[out][to] = 1;
+          worklist_[out][0].push_back(to);
+        }
         for (int i = 0; i < cnt; ++i) {
           trace->on_message(r, msgs[i].tag, msgs[i].size_words());
         }
         const VertexId from = contexts_[to].neighbors_[rs - port_base_[to]];
         trace->on_edge_load(r, from, to, cnt, edge_words);
-      }
-    };
-    if (trace) {
-      // Replay edges in sender (vertex, port) order — the order the
-      // pre-arena simulator emitted and trace fixtures were recorded in.
-      // The sort key is the sender's global port, packed above the
-      // receiver port so a plain integer sort (no comparator indirection)
-      // yields the replay order directly.
+      };
       trace_order_.clear();
       for (const std::vector<int>& bucket : active_[out]) {
         for (const int rs : bucket) {
@@ -484,16 +541,13 @@ RunStats Network::run_serial(
       for (const std::uint64_t key : trace_order_) {
         account(static_cast<int>(key & 0xffffffffu));
       }
-    } else {
-      for (const std::vector<int>& bucket : active_[out]) {
-        for (const int rs : bucket) account(rs);
-      }
     }
     if (profiler_) {
       profiler_->deliver_end(0, fault_ns);
       profiler_->reduce_begin();
     }
     stats += racc.stats;
+    unfinished += racc.unfinished_delta;
     pending_injected_ += racc.injected_delta;
     if (trace) {
       trace->on_round_end(r, racc.stats.messages_sent, racc.stats.words_sent,
@@ -514,20 +568,38 @@ RunStats Network::run_serial(
 void Network::compute_shard(
     int s, std::int64_t r,
     std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
-  if (profiler_) profiler_->compute_begin(s);
   ShardAccum& acc = shard_accum_[s];
   acc.unfinished_delta = 0;
   acc.stats.vertices_crashed = 0;
-  const std::vector<char>& mail_in = mail_[in_];
-  const VertexId end = shard_begin_[s + 1];
-  for (VertexId v = shard_begin_[s]; v < end; ++v) {
-    if (faults_active_ && r >= crash_round_[v]) {
-      // Crash-stop: mirror of the serial loop.
-      if (r == crash_round_[v]) ++acc.stats.vertices_crashed;
+  // Retire this round's crash events first. The schedule is the shard's
+  // crash vertices sorted by round (ties in vertex order), so the counting
+  // matches the old full-sweep loop exactly — including vertices that were
+  // already finished or idle when their crash round arrived, which the
+  // worklist below would never visit.
+  if (faults_active_) {
+    const std::vector<CrashSched>& sched = crash_sched_[s];
+    std::size_t& cur = crash_cursor_[s];
+    while (cur < sched.size() && sched[cur].round <= r) {
+      const VertexId v = sched[cur].vertex;
+      ++acc.stats.vertices_crashed;
       if (!finished_[v]) {
         finished_[v] = 1;
         --acc.unfinished_delta;
       }
+      ++cur;
+    }
+  }
+  const std::vector<char>& mail_in = mail_[in_];
+  const int out = 1 - in_;
+  std::vector<VertexId>& wl = worklist_[in_][s];
+  std::vector<VertexId>& wl_next = worklist_[out][s];
+  std::vector<char>& queued_in = queued_[in_];
+  std::vector<char>& queued_out = queued_[out];
+  for (const VertexId v : wl) {
+    queued_in[v] = 0;
+    if (faults_active_ && r >= crash_round_[v]) {
+      // Crash-stop: the vertex never executes again; the event above
+      // already did the bookkeeping.
       continue;
     }
     Context& ctx = contexts_[v];
@@ -544,12 +616,16 @@ void Network::compute_shard(
       // that received no mail must stay finished.
       assert(algorithms[v]->finished());
     }
+    // A still-unfinished vertex steps again next round even without mail.
+    if (!finished_[v] && !queued_out[v]) {
+      queued_out[v] = 1;
+      wl_next.push_back(v);
+    }
   }
-  if (profiler_) profiler_->compute_end(s);
+  wl.clear();
 }
 
-void Network::deliver_shard(int t, int out, std::int64_t r) {
-  if (profiler_) profiler_->deliver_begin(t);
+std::int64_t Network::deliver_shard(int t, int out, std::int64_t r) {
   std::int64_t fault_ns = 0;
   ShardAccum& acc = shard_accum_[t];
   // stats.vertices_crashed and unfinished_delta were written by this
@@ -615,10 +691,18 @@ void Network::deliver_shard(int t, int out, std::int64_t r) {
       acc.stats.messages_sent += cnt;
       acc.stats.words_sent += edge_words;
       acc.stats.max_edge_load = std::max(acc.stats.max_edge_load, cnt);
-      mail_[out][port_owner_[rs]] = 1;
+      const VertexId to = port_owner_[rs];
+      mail_[out][to] = 1;
+      // Fresh mail activates the receiver: queue it for next round's
+      // compute. Shard t's worklist and queued flags are touched by the
+      // worker delivering t alone, so the single-writer discipline holds.
+      if (!queued_[out][to]) {
+        queued_[out][to] = 1;
+        worklist_[out][t].push_back(to);
+      }
     }
   }
-  if (profiler_) profiler_->deliver_end(t, fault_ns);
+  return fault_ns;
 }
 
 void Network::apply_port_faults(int rs, int out, std::int64_t r,
@@ -774,19 +858,105 @@ RunStats Network::run_parallel(
       throw std::runtime_error("network: max_rounds exceeded");
     }
     const int out = 1 - in_;
-    // Phase one: step every shard's vertices. Deposits land in disjoint
-    // slot groups and single-writer active buckets, so the only shared
-    // writes are each shard's own finished_ range and accumulator. An
-    // exception (CongestionError, bad port) quiesces at the pool barrier
-    // and rethrows here; reset_mailboxes() on the next run() clears the
-    // partial round, so the Network stays reusable.
-    // The dispatch mark is written before the pool publishes the job under
-    // its mutex, so every shard's compute_begin reads it happens-after.
-    if (profiler_) profiler_->mark_dispatch();
-    pool_->run([&](int s) { compute_shard(s, r, algorithms); });
-    // Phase two: per receiving shard, retire the vacated buffer's ports,
-    // apply fault decisions, and account the traffic.
-    pool_->run([&](int t) { deliver_shard(t, out, r); });
+    // Member census (caller, O(num_shards_)): a shard participates when it
+    // has queued vertices or a crash event due this round. Shards out of
+    // the round are never rung — their workers stay parked — but their
+    // ports can still receive fresh mail or carry delayed injections, so
+    // members deliver the orphaned shards round-robin by rank.
+    std::int64_t total_active = 0;
+    int member_count = 0;
+    for (int s = 0; s < num_shards_; ++s) {
+      total_active += static_cast<std::int64_t>(worklist_[in_][s].size());
+      const bool in_round = !worklist_[in_][s].empty() ||
+                            (faults_active_ && crash_due(s, r));
+      member_[s] = in_round ? 1 : 0;
+      if (in_round) ++member_count;
+    }
+    if (!member_[0]) {
+      member_[0] = 1;  // the caller's slice always participates
+      ++member_count;
+    }
+    const bool serial_round =
+        member_count <= 1 || (options_.sparse_serial_threshold > 0 &&
+                              total_active <= options_.sparse_serial_threshold);
+    if (serial_round) {
+      // Sparse fast path: the whole round runs inline on the caller — no
+      // dispatch, no barriers. The decision is a pure function of the
+      // active-vertex count, which does not depend on the thread count, so
+      // results and metrics stay bit-identical across shard counts (the
+      // per-shard accounting below folds in shard order either way).
+      if (profiler_) profiler_->compute_begin(0);
+      for (int s = 0; s < num_shards_; ++s) {
+        if (member_[s]) {
+          compute_shard(s, r, algorithms);
+        } else {
+          ShardAccum& acc = shard_accum_[s];
+          acc.unfinished_delta = 0;
+          acc.stats.vertices_crashed = 0;
+        }
+      }
+      if (profiler_) {
+        profiler_->compute_end(0);
+        profiler_->deliver_begin(0);
+      }
+      std::int64_t fault_ns = 0;
+      for (int t = 0; t < num_shards_; ++t) {
+        fault_ns += deliver_shard(t, out, r);
+      }
+      if (profiler_) {
+        profiler_->deliver_end(0, fault_ns);
+        profiler_->mark_idle_others();
+      }
+    } else {
+      // Fused round: one dispatch runs both phases with a single internal
+      // barrier between them (the final barrier doubles as the round's
+      // quiesce point). Deposits land in disjoint slot groups and
+      // single-writer active buckets, so the only shared writes are each
+      // shard's own finished_ range, worklists and accumulator. An
+      // exception (CongestionError, bad port) skips phase 1 team-wide,
+      // quiesces at the pool barrier and rethrows here; reset_mailboxes()
+      // + prime_worklists() on the next run() clear the partial round, so
+      // the Network stays reusable.
+      orphans_.clear();
+      int rank = 0;
+      for (int s = 0; s < num_shards_; ++s) {
+        if (member_[s]) {
+          member_rank_[s] = rank++;
+        } else {
+          member_rank_[s] = -1;
+          orphans_.push_back(s);
+          ShardAccum& acc = shard_accum_[s];
+          acc.unfinished_delta = 0;
+          acc.stats.vertices_crashed = 0;
+        }
+      }
+      round_member_count_ = member_count;
+      // The dispatch mark is written before the pool rings the doorbells
+      // (seq_cst), so every shard's compute_begin reads it happens-after.
+      if (profiler_) profiler_->mark_dispatch();
+      pool_->run_phases(member_.data(), [&](int s, int phase) {
+        if (phase == 0) {
+          if (profiler_) profiler_->compute_begin(s);
+          compute_shard(s, r, algorithms);
+          if (profiler_) profiler_->compute_end(s);
+        } else {
+          if (profiler_) profiler_->deliver_begin(s);
+          const std::int64_t fns = deliver_shard(s, out, r);
+          if (profiler_) profiler_->deliver_end(s, fns);
+          // Orphan delivery, rank-strided: each non-member shard is
+          // delivered by exactly one member, preserving the per-shard
+          // single-writer discipline; its lane gets a deliver-only row.
+          for (std::size_t j = static_cast<std::size_t>(member_rank_[s]);
+               j < orphans_.size(); j += static_cast<std::size_t>(
+                                        round_member_count_)) {
+            const int t = orphans_[j];
+            if (profiler_) profiler_->deliver_begin(t);
+            const std::int64_t ofns = deliver_shard(t, out, r);
+            if (profiler_) profiler_->deliver_end(t, ofns);
+          }
+        }
+      });
+    }
     // Barrier reduction in shard order: the per-round RunStats is combined
     // once so it can feed both the run totals and the metrics registry.
     if (profiler_) profiler_->reduce_begin();

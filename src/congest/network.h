@@ -88,10 +88,20 @@ struct NetworkOptions {
   // allocation-free. Null: one predictable branch per delivered port.
   MetricsRegistry* metrics = nullptr;
   // Threads stepping vertices each round (DESIGN.md §11). 1 (the default)
-  // is the serial path; 0 resolves to std::thread::hardware_concurrency();
-  // k > 1 shards vertices across k workers. Results — RunStats and every
-  // vertex's final state — are bit-identical for every value.
+  // is the serial path; 0 resolves to std::thread::hardware_concurrency()
+  // clamped so a tiny graph never spawns workers it cannot feed (each
+  // shard gets a minimum amount of per-round weight — idle workers only
+  // add barrier latency); k > 1 shards vertices across k workers. Results
+  // — RunStats and every vertex's final state — are bit-identical for
+  // every value.
   int num_threads = 1;
+  // Sparse fast path (DESIGN.md §15): a parallel Network executes a round
+  // on the calling thread alone — no dispatch, no barriers — when at most
+  // this many vertices are active (round fusion for near-empty rounds).
+  // The choice is a pure function of the round's active count, which is
+  // thread-count independent, so results and metrics stay bit-identical.
+  // 0 disables the fallback.
+  int sparse_serial_threshold = 256;
   // Deterministic fault injection (DESIGN.md §12). Disabled by default
   // (faults.enabled() == false): the run loop takes the exact fault-free
   // path. Fault schedules are a pure function of (faults.seed, round, port,
@@ -237,17 +247,36 @@ class Network {
   // Clears any mailbox state left by a previous (possibly aborted) run.
   void reset_mailboxes();
   void retire_inbox_buffer();
+  // Clears stale worklist/crash-cursor state and queues every vertex for
+  // round 0 (round 0 precedes any message exchange, so all n vertices
+  // step; from round 1 on the worklists carry only active vertices).
+  void prime_worklists();
   RunStats run_serial(std::vector<std::unique_ptr<VertexAlgorithm>>& algos);
   RunStats run_parallel(std::vector<std::unique_ptr<VertexAlgorithm>>& algos);
-  // Parallel round, phase one: steps every vertex of shard s for round r
-  // and records finished() transitions in the shard's accumulator.
+  // True when shard s has a crash event scheduled at or before round r
+  // that its compute phase has not yet retired.
+  bool crash_due(int s, std::int64_t r) const {
+    return crash_cursor_[s] < crash_sched_[s].size() &&
+           crash_sched_[s][crash_cursor_[s]].round <= r;
+  }
+  // Round phase one: steps shard s's *active* vertices for round r — the
+  // worklist filled by last round's compute (still unfinished) and
+  // delivery (received mail) — retires due crash events, and records
+  // finished() transitions in the shard's accumulator. Refills the
+  // opposite parity's worklist with vertices still unfinished. Profiler
+  // brackets are the caller's responsibility (the sparse fast path
+  // profiles a whole fused round on lane 0 instead).
   void compute_shard(int s, std::int64_t r,
                      std::vector<std::unique_ptr<VertexAlgorithm>>& algos);
-  // Parallel round, phase two (after the barrier): retires shard t's ports
-  // of the buffer being vacated (this round's inboxes, next round's
-  // outboxes), then applies fault decisions for round r and accounts buffer
-  // `out` traffic delivered to shard t's vertices.
-  void deliver_shard(int t, int out, std::int64_t r);
+  // Round phase two (after the barrier): retires shard t's ports of the
+  // buffer being vacated (this round's inboxes, next round's outboxes),
+  // then applies fault decisions for round r and accounts buffer `out`
+  // traffic delivered to shard t's vertices, queueing every mail receiver
+  // on shard t's next-round worklist. Runs on whichever worker was
+  // assigned shard t this round (the owner when t is a member, a member
+  // picking up an orphan otherwise). Returns the fault-pass subtotal in
+  // nanoseconds (0 unless both faults and the profiler are active).
+  std::int64_t deliver_shard(int t, int out, std::int64_t r);
 
   // Per-shard phase outputs, reduced on the caller thread at the round
   // barrier via RunStats::operator+=; padded so workers never share a
@@ -323,6 +352,39 @@ class Network {
   std::vector<std::vector<int>> active_[2];
 
   std::vector<ShardAccum> shard_accum_;
+
+  // Sparse fast path (DESIGN.md §15). Per buffer parity and shard, the
+  // vertices that must step in the round reading that buffer: a vertex is
+  // stepped in round r iff it was unfinished after round r-1 or has mail
+  // delivered for round r (plus all n vertices in round 0). Compute of
+  // round r consumes worklist_[in_] and appends still-unfinished vertices
+  // to worklist_[out]; delivery appends mail receivers — both writers own
+  // the list exclusively in their phase. queued_[b][v] dedups appends;
+  // each entry is cleared when its vertex is consumed. Lists are reserved
+  // to the shard's vertex count, so steady-state appends never allocate.
+  std::vector<std::vector<graph::VertexId>> worklist_[2];
+  std::vector<char> queued_[2];
+  // Per-round membership scratch (caller-written before each dispatch):
+  // member_[s] != 0 when shard s has compute work this round; non-member
+  // shards are never woken (their doorbells stay untouched) and their
+  // delivery work — a shard can receive fresh mail without having had
+  // compute work — is picked up round-robin by the members via orphans_.
+  std::vector<unsigned char> member_;
+  std::vector<std::int32_t> member_rank_;  // rank among members, -1 if not
+  std::vector<std::int32_t> orphans_;      // non-member shards this round
+  int round_member_count_ = 0;
+
+  // Crash-stop schedule, per shard: (round, vertex) sorted by round (one
+  // event per crashed vertex — the earliest plan entry wins, matching
+  // crash_round_). The compute phase retires due events so a crash fires
+  // even when its vertex is idle-finished; crash_cursor_[s] is advanced by
+  // shard s's compute alone.
+  struct CrashSched {
+    std::int64_t round = 0;
+    graph::VertexId vertex = graph::kInvalidVertex;
+  };
+  std::vector<std::vector<CrashSched>> crash_sched_;
+  std::vector<std::size_t> crash_cursor_;
 
   // Fault injection (DESIGN.md §12). All empty/false when
   // options_.faults.enabled() is false — the hot paths below check the

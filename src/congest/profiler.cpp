@@ -65,6 +65,7 @@ const char* profile_phase_name(int phase) {
     case kProfileFault: return "fault";
     case kProfileReduce: return "reduce";
     case kProfileBarrier: return "barrier";
+    case kProfileIdle: return "idle";
     default: return "unknown";
   }
 }
@@ -167,6 +168,26 @@ void ExecutionProfiler::compute_end(int s) {
 void ExecutionProfiler::deliver_begin(int s) {
   Lane& lane = lanes_[s];
   const std::int64_t t = now_ns() - epoch_;
+  if (lane.rows == 0 || current(lane).round != global_round_) {
+    // No compute bracket ran on this lane this round: the shard was skipped
+    // by the sparse fast path and its ports are being delivered by another
+    // worker. Open a deliver-only sample — zero compute, zero barrier (the
+    // shard was idle, not waiting).
+    Sample& fresh =
+        lane.ring[static_cast<std::size_t>(lane.rows % ring_capacity_)];
+    ++lane.rows;
+    fresh = Sample{};
+    fresh.round = global_round_;
+    fresh.compute_start = t;
+    lane.compute_end_ts = t;
+    ++lane.totals.rounds;
+    if (lane.deliver_end_ts >= 0) {
+      // Skipped-compute rounds accrued since the last hand-off are idle
+      // time, not barrier wait.
+      lane.totals.phase_ns[kProfileIdle] += t - lane.deliver_end_ts;
+      lane.deliver_end_ts = -1;
+    }
+  }
   Sample& row = current(lane);
   row.barrier_ns = t - lane.compute_end_ts;
   row.deliver_start = t;
@@ -202,20 +223,40 @@ void ExecutionProfiler::reduce_end() {
   if (lane.deliver_end_ts >= 0) lane.deliver_end_ts = t;
 }
 
+void ExecutionProfiler::mark_idle_others() {
+  const std::int64_t t = now_ns() - epoch_;
+  for (int s = 1; s < run_shards_; ++s) {
+    Lane& lane = lanes_[s];
+    if (lane.deliver_end_ts >= 0) {
+      lane.totals.phase_ns[kProfileIdle] += t - lane.deliver_end_ts;
+      lane.deliver_end_ts = t;
+    }
+  }
+}
+
 void ExecutionProfiler::round_end() {
-  // Caller thread, after the delivery barrier: every lane's current row is
-  // complete and ordered before this read by the pool hand-off.
+  // Caller thread, after the delivery barrier: every participating lane's
+  // current row is complete and ordered before this read by the pool
+  // hand-off. Lanes the sparse fast path skipped this round (their current
+  // row belongs to an older round) are left out of the imbalance fold —
+  // a shard with no work is not an imbalance.
   std::int64_t max_busy = 0;
   std::int64_t sum_busy = 0;
+  int participants = 0;
   for (int s = 0; s < run_shards_; ++s) {
-    const Sample& row = current(lanes_[s]);
+    const Lane& lane = lanes_[s];
+    if (lane.rows == 0 || current(lane).round != global_round_) continue;
+    const Sample& row = current(lane);
     const std::int64_t busy = row.compute_ns + row.deliver_ns;
     max_busy = std::max(max_busy, busy);
     sum_busy += busy;
+    ++participants;
   }
-  imbalance_max_sum_ += max_busy;
-  imbalance_mean_sum_ +=
-      static_cast<double>(sum_busy) / static_cast<double>(run_shards_);
+  if (participants > 0) {
+    imbalance_max_sum_ += max_busy;
+    imbalance_mean_sum_ +=
+        static_cast<double>(sum_busy) / static_cast<double>(participants);
+  }
   ++global_round_;
 }
 
@@ -367,16 +408,17 @@ std::string format_profile_table(const ExecutionProfiler::Summary& s) {
   std::ostringstream os;
   char line[256];
   os << "shard   rounds  compute_ms  deliver_ms   fault_ms  reduce_ms  "
-        "barrier_ms  busy_share\n";
+        "barrier_ms     idle_ms  busy_share\n";
   for (const ExecutionProfiler::ShardSummary& sh : s.shards) {
     std::snprintf(line, sizeof line,
-                  "%5d %8lld %11s %11s %10s %10s %11s %11.3f\n", sh.shard,
+                  "%5d %8lld %11s %11s %10s %10s %11s %11s %11.3f\n", sh.shard,
                   static_cast<long long>(sh.totals.rounds),
                   fmt_ms(sh.totals.phase_ns[kProfileCompute]).c_str(),
                   fmt_ms(sh.totals.phase_ns[kProfileDeliver]).c_str(),
                   fmt_ms(sh.totals.phase_ns[kProfileFault]).c_str(),
                   fmt_ms(sh.totals.phase_ns[kProfileReduce]).c_str(),
                   fmt_ms(sh.totals.phase_ns[kProfileBarrier]).c_str(),
+                  fmt_ms(sh.totals.phase_ns[kProfileIdle]).c_str(),
                   sh.busy_share);
     os << line;
   }

@@ -54,6 +54,7 @@ enum ProfilePhase : int {
   kProfileFault,        // fault-injection subtotal (inside deliver)
   kProfileReduce,       // caller-side barrier reduction (stats + metrics)
   kProfileBarrier,      // waiting at the phase barrier / shard handoff
+  kProfileIdle,         // rounds the shard sat out (sparse fast path)
   kProfilePhaseCount,
 };
 const char* profile_phase_name(int phase);
@@ -139,10 +140,21 @@ class ExecutionProfiler {
   void mark_dispatch();
   // Shard-phase brackets, called on the thread running shard s. The
   // delivery bracket takes the measured fault-injection subtotal.
+  // deliver_begin on a lane whose compute bracket did not run this round
+  // (a shard skipped by the sparse fast path whose ports are delivered by
+  // another worker) opens a fresh deliver-only sample with zero compute
+  // and zero barrier time.
   void compute_begin(int s);
   void compute_end(int s);
   void deliver_begin(int s);
   void deliver_end(int s, std::int64_t fault_ns);
+  // Caller thread, on a round executed without dispatching the team (the
+  // sparse fast path's serial fallback, profiled on lane 0): accrues the
+  // time since each other lane's last hand-off stamp as idle — the shard
+  // was not waiting at a barrier, there was no round to wait for — and
+  // advances the stamp so the wait accounting stays coherent when the
+  // shard next runs.
+  void mark_idle_others();
   // Caller thread, bracketing the barrier reduction (per-shard stats fold +
   // metrics record/apply). Attributed to the caller's lane (shard 0).
   void reduce_begin();

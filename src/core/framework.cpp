@@ -126,6 +126,7 @@ Partition partition_and_gather(const Graph& g, double eps,
   control_net.metrics = options.metrics;
   control_net.profiler = options.profiler;
   control_net.num_threads = options.num_threads;
+  control_net.sparse_serial_threshold = options.sparse_serial_threshold;
 
   // Leader election: the paper elects a maximum-cluster-degree vertex.
   congest::LeaderElectionResult election;
@@ -181,6 +182,7 @@ Partition partition_and_gather(const Graph& g, double eps,
   gopt.net.metrics = options.metrics;
   gopt.net.profiler = options.profiler;
   gopt.net.num_threads = options.num_threads;
+  gopt.net.sparse_serial_threshold = options.sparse_serial_threshold;
   gopt.net.bandwidth_tokens =
       options.walk_bandwidth > 0
           ? options.walk_bandwidth

@@ -80,6 +80,11 @@ struct FrameworkOptions {
   // Worker threads for the simulated phases (NetworkOptions::num_threads):
   // 1 = serial (default), 0 = hardware concurrency, k = k shards.
   int num_threads = 1;
+  // Sparse-round serial fallback cutoff for the simulated phases
+  // (NetworkOptions::sparse_serial_threshold): rounds with at most this
+  // many active vertices run on the calling thread. 0 disables the
+  // fallback; results are bit-identical at every setting.
+  int sparse_serial_threshold = 256;
   // --- Fault tolerance (DESIGN.md §12) ------------------------------------
   // Fault plan applied to the gather phase (the data plane); crash rounds
   // are interpreted on the gather's own round timeline. Control phases

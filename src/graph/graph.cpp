@@ -1,6 +1,7 @@
 #include "src/graph/graph.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -43,6 +44,87 @@ Graph Graph::from_edges(int num_vertices, std::vector<Edge> edges) {
     g.incident_[cursor[e.u]++] = id;
     g.adjacency_[cursor[e.v]] = e.u;
     g.incident_[cursor[e.v]++] = id;
+  }
+  g.max_degree_ = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  return g;
+}
+
+Graph Graph::from_edge_stream(int num_vertices, EdgeStream& stream) {
+  if (num_vertices < 0) throw std::invalid_argument("negative vertex count");
+  Graph g;
+  g.offsets_.assign(num_vertices + 1, 0);
+
+  // Pass 1: validate endpoints and count degrees into the offset table.
+  struct CountSink final : EdgeSink {
+    int n = 0;
+    std::int64_t m = 0;
+    std::vector<int>* offsets = nullptr;
+    void edge(VertexId u, VertexId v) override {
+      if (u < 0 || v < 0 || u >= n || v >= n) {
+        throw std::invalid_argument("edge endpoint out of range");
+      }
+      if (u == v) throw std::invalid_argument("self loop");
+      ++(*offsets)[u + 1];
+      ++(*offsets)[v + 1];
+      ++m;
+    }
+  } count;
+  count.n = num_vertices;
+  count.offsets = &g.offsets_;
+  stream.generate(count);
+  if (count.m > std::numeric_limits<EdgeId>::max()) {
+    throw std::invalid_argument("edge count overflows EdgeId");
+  }
+  const EdgeId m = static_cast<EdgeId>(count.m);
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  // Pass 2: write edges and both CSR halves in edge-id order — the same
+  // fill order as from_edges, which is what makes the layouts identical.
+  g.edges_.resize(m);
+  g.adjacency_.resize(2 * static_cast<std::size_t>(m));
+  g.incident_.resize(2 * static_cast<std::size_t>(m));
+  struct FillSink final : EdgeSink {
+    Graph* g = nullptr;
+    EdgeId next = 0;
+    EdgeId m = 0;
+    std::vector<int> cursor;
+    void edge(VertexId u, VertexId v) override {
+      if (u > v) std::swap(u, v);
+      if (next >= m || cursor[u] >= g->offsets_[u + 1] ||
+          cursor[v] >= g->offsets_[v + 1]) {
+        // More edges, or a different degree profile, than pass 1 produced.
+        throw std::invalid_argument("edge stream did not replay identically");
+      }
+      const EdgeId id = next++;
+      g->edges_[id] = {u, v};
+      g->adjacency_[cursor[u]] = v;
+      g->incident_[cursor[u]++] = id;
+      g->adjacency_[cursor[v]] = u;
+      g->incident_[cursor[v]++] = id;
+    }
+  } fill;
+  fill.g = &g;
+  fill.m = m;
+  fill.cursor.assign(g.offsets_.begin(), g.offsets_.end() - 1);
+  stream.generate(fill);
+  if (fill.next != m) {
+    throw std::invalid_argument("edge stream did not replay identically");
+  }
+
+  // Parallel-edge check without the sorted edge-list copy: one stamp per
+  // vertex, last center to touch it; a repeat within one adjacency row is a
+  // duplicate edge. O(2m) time, n extra ints.
+  {
+    std::vector<VertexId> stamp(num_vertices, kInvalidVertex);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      for (const VertexId w : g.neighbors(v)) {
+        if (stamp[w] == v) throw std::invalid_argument("parallel edge");
+        stamp[w] = v;
+      }
+    }
   }
   g.max_degree_ = 0;
   for (VertexId v = 0; v < num_vertices; ++v) {

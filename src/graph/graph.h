@@ -35,6 +35,26 @@ struct Edge {
 // Sign of an edge in a correlation-clustering instance (§3.3 of the paper).
 enum class EdgeSign : std::int8_t { kNegative = -1, kPositive = 1 };
 
+// Receiver for Graph::from_edge_stream: the stream calls edge(u, v) once
+// per edge, endpoints in either order.
+class EdgeSink {
+ public:
+  virtual void edge(VertexId u, VertexId v) = 0;
+
+ protected:
+  ~EdgeSink() = default;
+};
+
+// An edge sequence that can be replayed: generate(sink) must emit the
+// identical sequence every time it is called. Generators whose edges are a
+// pure function of loop indices (grids, paths, hypercubes) satisfy this for
+// free; randomized generators would need to reseed per call.
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+  virtual void generate(EdgeSink& sink) = 0;
+};
+
 class Graph {
  public:
   Graph() = default;
@@ -43,6 +63,18 @@ class Graph {
   // order; they are normalized. Throws std::invalid_argument on self loops,
   // parallel edges, or out-of-range endpoints.
   static Graph from_edges(int num_vertices, std::vector<Edge> edges);
+
+  // Streaming constructor for large graphs: replays `stream` twice — pass 1
+  // counts degrees, pass 2 fills the CSR arrays directly in edge-id order —
+  // so peak memory is the final structure plus one n-sized cursor array.
+  // from_edges peaks at roughly 2x the edge list on top of that (the list
+  // itself plus a sorted copy for the parallel-edge check); here parallel
+  // edges are caught by an n-sized stamp sweep over the finished adjacency
+  // instead. Given the same edge sequence the result is byte-identical to
+  // from_edges (same edge ids, same CSR layout). Throws the same
+  // std::invalid_argument family, plus on a stream that does not replay
+  // identically.
+  static Graph from_edge_stream(int num_vertices, EdgeStream& stream);
 
   int num_vertices() const { return static_cast<int>(offsets_.size()) - 1; }
   int num_edges() const { return static_cast<int>(edges_.size()); }

@@ -81,11 +81,15 @@ struct ChatterOutcome {
 
 ChatterOutcome run_chatter(const Graph& g, const FaultPlan& plan,
                            int num_threads, int rounds = 12,
-                           int bandwidth = 1) {
+                           int bandwidth = 1, int sparse_threshold = 0) {
   NetworkOptions opt;
   opt.bandwidth_tokens = bandwidth;
   opt.num_threads = num_threads;
   opt.faults = plan;
+  // These fixtures probe the dispatching round loop: the chatter graphs sit
+  // below the default sparse-serial threshold, so leave it off unless a
+  // test asks for the fallback regime explicitly.
+  opt.sparse_serial_threshold = sparse_threshold;
   Network net(g, opt);
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -132,9 +136,32 @@ TEST(FaultDeterminism, IdenticalAcrossThreadCounts) {
   EXPECT_GT(serial.stats.messages_dropped, 0);
   EXPECT_GT(serial.stats.messages_duplicated, 0);
   EXPECT_GT(serial.stats.messages_delayed, 0);
-  for (const int t : {2, 4, 8}) {
+  for (const int t : {2, 4, 8, 16}) {
     SCOPED_TRACE(t);
     expect_same_outcome(serial, run_chatter(g, plan, t));
+  }
+}
+
+TEST(FaultDeterminism, SparseFallbackIdenticalUnderFaultsAndCrashes) {
+  // Crashes shrink the active set below the sparse-serial threshold while
+  // delayed messages are still in transit, so the run crosses between the
+  // dispatching loop and the serial fallback mid-flight — the fallback must
+  // retire crash events and injected traffic exactly like the parallel
+  // path, at every thread count.
+  const Graph g = []{ graph::Rng rng(7); return graph::random_maximal_planar(150, rng); }();
+  FaultPlan plan = mixed_plan();
+  plan.crashes = {{3, 1}, {11, 3}, {42, 6}, {97, 9}};
+  const ChatterOutcome reference =
+      run_chatter(g, plan, /*num_threads=*/1);
+  EXPECT_EQ(reference.stats.vertices_crashed, 4);
+  for (const int t : {1, 2, 4, 8, 16}) {
+    SCOPED_TRACE(t);
+    // Default threshold (150 vertices < 256): every round falls back.
+    expect_same_outcome(reference, run_chatter(g, plan, t, 12, 1,
+                                               /*sparse_threshold=*/256));
+    // Tiny threshold: only the crash-drained tail falls back.
+    expect_same_outcome(reference, run_chatter(g, plan, t, 12, 1,
+                                               /*sparse_threshold=*/8));
   }
 }
 
@@ -367,7 +394,7 @@ TEST(FaultCrash, CrashScheduleIdenticalAcrossThreadCounts) {
   plan.crashes = {{5, 2}, {17, 4}, {33, 0}, {80, 7}};
   const ChatterOutcome serial = run_chatter(g, plan, 1);
   EXPECT_EQ(serial.stats.vertices_crashed, 4);
-  for (const int t : {2, 4, 8}) {
+  for (const int t : {2, 4, 8, 16}) {
     SCOPED_TRACE(t);
     expect_same_outcome(serial, run_chatter(g, plan, t));
   }

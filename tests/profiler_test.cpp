@@ -116,6 +116,10 @@ Outcome run_saturate(int num_threads, ExecutionProfiler* profiler) {
   opt.num_threads = num_threads;
   opt.metrics = &metrics;
   opt.profiler = profiler;
+  // The 256-vertex grid sits exactly at the default sparse-serial
+  // threshold; these fixtures probe the dispatching round loop, so force
+  // the parallel path (the sparse fallback has its own tests).
+  opt.sparse_serial_threshold = 0;
   Network net(g, opt);
   Outcome out;
   out.stats = net.run(algos);

@@ -8,12 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "src/baselines/luby_mis.h"
+#include "src/congest/metrics.h"
 #include "src/congest/network.h"
 #include "src/congest/primitives.h"
+#include "src/congest/profiler.h"
 #include "src/congest/thread_pool.h"
 #include "src/congest/trace.h"
 #include "src/graph/generators.h"
@@ -385,7 +389,7 @@ TEST(ParallelDeterminism, FloodIsBitIdenticalAcrossThreadCounts) {
   };
   const auto serial = run_workload<FloodWaveAlgo>(g, 1, make);
   EXPECT_EQ(serial.stats.messages_sent, 2 * g.num_edges());
-  for (const int threads : {2, 4, 8}) {
+  for (const int threads : {2, 4, 8, 16}) {
     const auto par = run_workload<FloodWaveAlgo>(g, threads, make);
     expect_same_stats(par.stats, serial.stats);
     EXPECT_EQ(par.outputs, serial.outputs) << threads << " threads";
@@ -396,7 +400,7 @@ TEST(ParallelDeterminism, PingPongIsBitIdenticalAcrossThreadCounts) {
   const Graph g = graph::grid(16, 16);
   const auto make = [](VertexId) { return std::make_unique<SaturateAlgo>(12); };
   const auto serial = run_workload<SaturateAlgo>(g, 1, make);
-  for (const int threads : {2, 4, 8}) {
+  for (const int threads : {2, 4, 8, 16}) {
     const auto par = run_workload<SaturateAlgo>(g, threads, make);
     expect_same_stats(par.stats, serial.stats);
     EXPECT_EQ(par.outputs, serial.outputs) << threads << " threads";
@@ -412,7 +416,7 @@ TEST(ParallelDeterminism, LubyMisIsBitIdenticalAcrossThreadCounts) {
   congest::NetworkOptions opt;
   const auto serial = baselines::luby_mis(g, 7, opt);
   EXPECT_FALSE(serial.independent_set.empty());
-  for (const int threads : {2, 4, 8}) {
+  for (const int threads : {2, 4, 8, 16}) {
     congest::NetworkOptions popt;
     popt.num_threads = threads;
     const auto par = baselines::luby_mis(g, 7, popt);
@@ -421,6 +425,71 @@ TEST(ParallelDeterminism, LubyMisIsBitIdenticalAcrossThreadCounts) {
         << threads << " threads";
     EXPECT_EQ(par.phases, serial.phases);
   }
+}
+
+// --- Sparse-round fast path -------------------------------------------------
+//
+// The serial fallback (NetworkOptions::sparse_serial_threshold) decides
+// per round on the thread-count-independent active-vertex count, so every
+// threshold setting must produce bit-identical results and metrics — the
+// fallback may only change where the work runs, never what it computes.
+// Flood is the canonical sparse shape: the wavefront is a thin frontier
+// and the drain rounds are near-empty.
+
+TEST(SparseFastPath, ThresholdNeverChangesResultsOrMetrics) {
+  const Graph g = graph::grid(24, 24);
+  const auto run_with = [&](int threads, int threshold) {
+    std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+    std::vector<FloodWaveAlgo*> typed;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      auto a = std::make_unique<FloodWaveAlgo>(v == 0);
+      typed.push_back(a.get());
+      algos.push_back(std::move(a));
+    }
+    MetricsRegistry metrics;
+    NetworkOptions opt;
+    opt.num_threads = threads;
+    opt.sparse_serial_threshold = threshold;
+    opt.metrics = &metrics;
+    Network net(g, opt);
+    DeterminismOutcome out;
+    out.stats = net.run(algos);
+    for (const FloodWaveAlgo* a : typed) out.outputs.push_back(a->output());
+    return std::pair(out, metrics.to_json());
+  };
+  const auto [ref, ref_json] = run_with(1, 0);
+  for (const int threads : {1, 2, 4, 8}) {
+    // 0 = fallback disabled, 48 = the wavefront straddles it (some rounds
+    // dispatch, some fall back), huge = every round runs inline.
+    for (const int threshold : {0, 48, 1 << 20}) {
+      const auto [out, json] = run_with(threads, threshold);
+      expect_same_stats(out.stats, ref.stats);
+      EXPECT_EQ(out.outputs, ref.outputs)
+          << threads << " threads, threshold " << threshold;
+      EXPECT_EQ(json, ref_json)
+          << threads << " threads, threshold " << threshold;
+    }
+  }
+}
+
+// num_threads = 0 (auto) must not spawn workers a tiny graph cannot feed:
+// the shard count is clamped so every shard carries a meaningful weight
+// (kAutoShardMinWeight in network.cpp). A 6x6 grid's weight is ~156, so
+// auto resolves to one shard on any machine — observable through the
+// profiler's lane count.
+TEST(SparseFastPath, AutoThreadCountClampsToShardWeightOnTinyGraphs) {
+  const Graph g = graph::grid(6, 6);
+  ExecutionProfiler profiler;
+  NetworkOptions opt;
+  opt.num_threads = 0;  // hardware concurrency, then the weight clamp
+  opt.profiler = &profiler;
+  Network net(g, opt);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    algos.push_back(std::make_unique<FloodWaveAlgo>(v == 0));
+  }
+  net.run(algos);
+  EXPECT_EQ(profiler.summary().num_shards, 1);
 }
 
 // --- Error recovery after aborted runs -------------------------------------
@@ -630,6 +699,149 @@ TEST(ThreadPoolBarrier, LowestShardExceptionWinsWhenAllThrow) {
   std::array<std::int64_t, 4> ran{};
   pool.run([&](int s) { ran[s] = 1; });
   for (int s = 0; s < 4; ++s) EXPECT_EQ(ran[s], 1);
+}
+
+// --- Fused two-phase dispatch (run_phases) ----------------------------------
+//
+// The sense-reversing barrier's hardest cases: a phase-0 throw must skip
+// phase 1 on EVERY member (the delivery phase of a round may never run
+// over a half-computed round), a phase-1 throw must still quiesce, member
+// masks must leave non-members untouched, and the pool must stay reusable
+// through all of it — under both the spinning and the parked waiter path
+// (which of the two runs depends on the host's core count; the protocol
+// is identical).
+
+TEST(ThreadPoolBarrier, RunPhasesOrdersPhasesAcrossShards) {
+  constexpr int kShards = 4;
+  ThreadPool pool(kShards);
+  std::array<std::int64_t, kShards> compute{};
+  std::array<std::int64_t, kShards> deliver{};
+  for (int iter = 0; iter < 200; ++iter) {
+    pool.run_phases(nullptr, [&](int s, int phase) {
+      if (phase == 0) {
+        compute[s] += 1;
+      } else {
+        // The internal barrier separates the phases: every shard's phase 0
+        // of this dispatch must be visible before any shard's phase 1.
+        for (int t = 0; t < kShards; ++t) {
+          ASSERT_EQ(compute[t], iter + 1) << "shard " << s << " phase 1 saw "
+                                          << "shard " << t << " mid-compute";
+        }
+        deliver[s] += 1;
+      }
+    });
+  }
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(compute[s], 200);
+    EXPECT_EQ(deliver[s], 200);
+  }
+}
+
+TEST(ThreadPoolBarrier, Phase0ThrowSkipsPhase1TeamWide) {
+  constexpr int kShards = 4;
+  ThreadPool pool(kShards);
+  for (int thrower = 0; thrower < kShards; ++thrower) {
+    std::array<std::atomic<int>, kShards> phase1{};
+    try {
+      pool.run_phases(nullptr, [&](int s, int phase) {
+        if (phase == 0 && s == thrower) {
+          throw std::runtime_error("compute failed on " + std::to_string(s));
+        }
+        if (phase == 1) phase1[s].fetch_add(1);
+      });
+      FAIL() << "exception was swallowed (thrower " << thrower << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()),
+                "compute failed on " + std::to_string(thrower));
+    }
+    for (int s = 0; s < kShards; ++s) {
+      EXPECT_EQ(phase1[s].load(), 0)
+          << "shard " << s << " delivered over a half-computed round";
+    }
+  }
+  std::array<std::int64_t, kShards> ran{};
+  pool.run([&](int s) { ran[s] = 1; });
+  for (int s = 0; s < kShards; ++s) EXPECT_EQ(ran[s], 1);
+}
+
+TEST(ThreadPoolBarrier, Phase1ThrowQuiescesAndLowestShardWins) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 50; ++i) {
+    try {
+      pool.run_phases(nullptr, [&](int s, int phase) {
+        if (phase == 1 && s >= i % 3) {
+          throw std::runtime_error("deliver " + std::to_string(s));
+        }
+      });
+      FAIL() << "exception was swallowed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), "deliver " + std::to_string(i % 3));
+    }
+  }
+  std::array<std::int64_t, 4> ran{};
+  pool.run([&](int s) { ran[s] = 1; });
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(ran[s], 1);
+}
+
+TEST(ThreadPoolBarrier, MemberMaskSkipsNonMembersEntirely) {
+  constexpr int kShards = 8;
+  ThreadPool pool(kShards);
+  std::array<std::int64_t, kShards> runs{};
+  // Rotate through member subsets, including the empty mask (shard 0 — the
+  // caller — always participates regardless of its byte).
+  for (int iter = 0; iter < 100; ++iter) {
+    std::array<unsigned char, kShards> members{};
+    for (int s = 0; s < kShards; ++s) {
+      members[s] = (iter % (s + 1)) == 0 ? 1 : 0;
+    }
+    if (iter % 7 == 0) members.fill(0);
+    std::array<int, kShards> expected{};
+    for (int s = 0; s < kShards; ++s) expected[s] = members[s] ? 1 : 0;
+    expected[0] = 1;
+    std::array<std::atomic<int>, kShards> hit{};
+    pool.run_phases(members.data(), [&](int s, int phase) {
+      if (phase == 0) hit[s].fetch_add(1);
+    });
+    for (int s = 0; s < kShards; ++s) {
+      ASSERT_EQ(hit[s].load(), expected[s]) << "iter " << iter << " shard " << s;
+      runs[s] += hit[s].load();
+    }
+  }
+  EXPECT_EQ(runs[0], 100);  // caller ran every dispatch
+}
+
+TEST(ThreadPoolBarrier, ThrowingMemberWithMaskedTeamStaysReusable) {
+  constexpr int kShards = 4;
+  ThreadPool pool(kShards);
+  std::array<unsigned char, kShards> members{1, 0, 1, 0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_THROW(pool.run_phases(members.data(),
+                                 [&](int s, int phase) {
+                                   if (phase == 0 && s == 2) {
+                                     throw std::runtime_error("member threw");
+                                   }
+                                 }),
+                 std::runtime_error);
+    std::array<std::int64_t, kShards> ok{};
+    pool.run([&](int s) { ok[s] = 1; });
+    for (int s = 0; s < kShards; ++s) ASSERT_EQ(ok[s], 1) << "iter " << i;
+  }
+}
+
+TEST(ThreadPoolBarrier, SingleThreadRunPhasesPropagatesDirectly) {
+  ThreadPool pool(1);
+  int deliver = 0;
+  EXPECT_THROW(pool.run_phases(nullptr,
+                               [&](int, int phase) {
+                                 if (phase == 0) throw std::runtime_error("x");
+                                 deliver = 1;
+                               }),
+               std::runtime_error);
+  EXPECT_EQ(deliver, 0);  // phase 1 skipped after a phase-0 throw
+  pool.run_phases(nullptr, [&](int, int phase) {
+    if (phase == 1) deliver = 2;
+  });
+  EXPECT_EQ(deliver, 2);
 }
 
 // --- Parity fixture --------------------------------------------------------

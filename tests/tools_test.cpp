@@ -19,6 +19,7 @@ using ecd::jsonmin::Value;
 using ecd::tools::compare_bench_snapshots;
 using ecd::tools::CompareOptions;
 using ecd::tools::CompareResult;
+using ecd::tools::CounterDelta;
 
 // --- jsonmin ----------------------------------------------------------------
 
@@ -200,6 +201,53 @@ TEST(BenchCompare, ProfileCountersAreInformationalDeltas) {
   const std::string text = format_compare_result(r);
   EXPECT_NE(text.find("profile_barrier_wait_fraction"), std::string::npos);
   EXPECT_NE(text.find("info"), std::string::npos);
+}
+
+TEST(BenchCompare, SpeedupColumnPairsThreadsAxisWithSerialSibling) {
+  // The speedup column is computed within the *current* snapshot alone: a
+  // threads:4 row whose threads:1 sibling (same remaining axes) is present
+  // gets a `<counter>_speedup_x` informational delta valued 4-row / 1-row.
+  const Value base = parse(snapshot(
+      {{"BM_F/n:1024/threads:1/metrics:0", R"("rounds_per_sec":1000)"},
+       {"BM_F/n:1024/threads:4/metrics:0", R"("rounds_per_sec":3000)"}}));
+  const Value cur = parse(snapshot(
+      {{"BM_F/n:1024/threads:1/metrics:0", R"("rounds_per_sec":1000)"},
+       {"BM_F/n:1024/threads:4/metrics:0", R"("rounds_per_sec":3000)"}}));
+  const CompareResult r = compare_bench_snapshots(base, cur);
+  EXPECT_TRUE(r.ok);
+  const CounterDelta* speedup = nullptr;
+  for (const CounterDelta& d : r.deltas) {
+    if (d.counter == "rounds_per_sec_speedup_x") {
+      EXPECT_EQ(speedup, nullptr) << "one speedup delta per pair";
+      speedup = &d;
+    }
+  }
+  ASSERT_NE(speedup, nullptr);
+  EXPECT_EQ(speedup->row, "BM_F/n:1024/threads:4/metrics:0");
+  EXPECT_FALSE(speedup->gated);
+  EXPECT_FALSE(speedup->has_baseline);
+  EXPECT_DOUBLE_EQ(speedup->current, 3.0);
+  // Sub-linear (or sub-1.0) speedups are information, never a regression.
+  const Value slow = parse(snapshot(
+      {{"BM_F/n:1024/threads:1/metrics:0", R"("rounds_per_sec":1000)"},
+       {"BM_F/n:1024/threads:4/metrics:0", R"("rounds_per_sec":1000)"}}));
+  EXPECT_TRUE(compare_bench_snapshots(slow, slow).ok);
+  const std::string text = format_compare_result(r);
+  EXPECT_NE(text.find("rounds_per_sec_speedup_x"), std::string::npos);
+}
+
+TEST(BenchCompare, SpeedupColumnSkipsRowsWithoutSerialSibling) {
+  // No threads:1 sibling at the same remaining axes — and no threads axis
+  // at all — must both yield no speedup delta.
+  const Value doc = parse(snapshot(
+      {{"BM_F/n:1024/threads:4/metrics:0", R"("rounds_per_sec":3000)"},
+       {"BM_F/n:4096/threads:1/metrics:0", R"("rounds_per_sec":800)"},
+       {"BM_G/n:1024", R"("rounds_per_sec":500)"}}));
+  const CompareResult r = compare_bench_snapshots(doc, doc);
+  EXPECT_TRUE(r.ok);
+  for (const CounterDelta& d : r.deltas) {
+    EXPECT_EQ(d.counter.find("_speedup_x"), std::string::npos) << d.counter;
+  }
 }
 
 TEST(BenchCompare, FormatMentionsEveryIssue) {

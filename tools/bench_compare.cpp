@@ -58,6 +58,40 @@ bool ends_with(const std::string& s, std::string_view suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+// Splits a benchmark name's "threads:K" axis out of the row name:
+// "BM_Flood/n:1024/threads:4/metrics:0" -> key "BM_Flood/n:1024/metrics:0",
+// threads 4. Rows without the axis return threads = -1 and the name itself,
+// so they never pair.
+struct ThreadsAxis {
+  std::string key;
+  long threads = -1;
+};
+
+ThreadsAxis split_threads_axis(const std::string& name) {
+  std::string::size_type pos = 0;
+  while ((pos = name.find("threads:", pos)) != std::string::npos) {
+    if (pos == 0 || name[pos - 1] == '/') {
+      const std::string::size_type value = pos + std::string_view("threads:").size();
+      char* end = nullptr;
+      const long threads = std::strtol(name.c_str() + value, &end, 10);
+      const std::string::size_type stop =
+          static_cast<std::string::size_type>(end - name.c_str());
+      if (end != name.c_str() + value &&
+          (stop == name.size() || name[stop] == '/')) {
+        std::string key = name.substr(0, pos);
+        if (stop < name.size()) {
+          key += name.substr(stop + 1);  // drop one of the two slashes
+        } else if (!key.empty() && key.back() == '/') {
+          key.pop_back();
+        }
+        return {std::move(key), threads};
+      }
+    }
+    ++pos;
+  }
+  return {name, -1};
+}
+
 std::string fmt(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.6g", v);
@@ -127,6 +161,32 @@ CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
       result.deltas.push_back(
           {name, cname, false, has_base, has_base ? bit->second : 0.0,
            cur_value});
+    }
+  }
+  // Informational parallel-speedup column, computed within the *current*
+  // snapshot alone: every row with a threads:K axis (K > 1) whose threads:1
+  // sibling — same benchmark, same remaining axes — is also present gets a
+  // `<counter>_speedup_x` delta per throughput counter, valued K-row /
+  // 1-row. Never gated (a single-core runner legitimately sits at ≤ 1.0);
+  // it is the table that says whether threads buy anything at a given n.
+  {
+    std::map<std::string, const Row*> serial_by_key;
+    for (const auto& [name, row] : cur_rows) {
+      const ThreadsAxis axis = split_threads_axis(name);
+      if (axis.threads == 1) serial_by_key[axis.key] = &row;
+    }
+    for (const auto& [name, row] : cur_rows) {
+      const ThreadsAxis axis = split_threads_axis(name);
+      if (axis.threads <= 1) continue;
+      const auto sit = serial_by_key.find(axis.key);
+      if (sit == serial_by_key.end()) continue;
+      for (const auto& [cname, cur_value] : row.counters) {
+        if (!ends_with(cname, "_per_sec")) continue;
+        const auto bit = sit->second->counters.find(cname);
+        if (bit == sit->second->counters.end() || bit->second <= 0.0) continue;
+        result.deltas.push_back({name, cname + "_speedup_x", false, false, 0.0,
+                                 cur_value / bit->second});
+      }
     }
   }
   if (result.rows_compared == 0) {

@@ -47,7 +47,10 @@ struct CompareIssue {
 // counters (`*_per_sec`, `allocs_per_round`); informational deltas cover
 // `profile_*` counters when the current snapshot was taken under
 // --ecd_profile (barrier-wait fraction, load imbalance — the baseline
-// usually lacks them, hence has_baseline).
+// usually lacks them, hence has_baseline), and `<counter>_speedup_x`
+// parallel-speedup ratios: for every current row with a threads:K axis
+// (K > 1) whose threads:1 sibling at the same remaining axes is in the
+// snapshot, the ratio of each `*_per_sec` counter across the pair.
 struct CounterDelta {
   std::string row;
   std::string counter;
