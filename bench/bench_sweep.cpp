@@ -1,0 +1,145 @@
+// Sweep-engine throughput benchmark (EXPERIMENTS.md E18).
+//
+// Measures what the sweep engine exists for: amortizing Graph/Network
+// construction across a run grid. Two fixed small grids (sweep_spec below:
+// a 16-cell short-run shape and a 64-run mixed shape), each executed two
+// ways:
+//
+//   BM_SweepWarm  the engine's steady state: caches populated by an
+//                 untimed warm-up pass, every timed execution reuses
+//                 every Graph and Network (graphs_built == networks_built
+//                 == 0, asserted). The JSONL sink stays off so the warm
+//                 path exercises its zero-allocation contract.
+//   BM_SweepCold  the same grid with SweepOptions::reuse = false: every
+//                 run constructs a fresh Graph + Network + algorithm
+//                 vector — what a naive grid driver pays, and the
+//                 denominator of E18's warm-vs-cold speedup.
+//
+// Counters:
+//   runs_per_sec    completed simulator runs per wall-clock second
+//                   (gated by bench_compare like every _per_sec counter)
+//   allocs_per_run  heap allocations per run during warm executions
+//                   (gated absolutely: the warm path promises 0)
+//   peak_rss_mb     informational (process-wide, monotonic)
+//
+// Small n on purpose: construction dominates at small n, so that is where
+// reuse pays and where a reuse regression shows up first. At large n the
+// run itself dominates and warm≈cold — uninformative as a gate.
+#define ECD_BENCH_COUNT_ALLOCS 1
+
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "src/core/sweep.h"
+
+namespace {
+
+using namespace ecd;
+using namespace ecd::bench;
+using core::SweepEngine;
+using core::SweepOptions;
+using core::SweepResult;
+using core::SweepSpec;
+
+// The E18 grids: serial cells only (run-level multiplexing is the CLI's
+// job; the bench isolates per-run reuse cost on one thread). Two shapes:
+//   short  sixteen 1-round pingpong cells over randomized topologies
+//          (expander, tree) — the run is a few arena scans, so per-cell
+//          cost is almost pure construction and topology generation. This
+//          is where the reuse payoff is largest (the many-small-cells
+//          regression grid) and the row the E18 speedup table quotes.
+//   mixed  flood + MIS with faults on/off — longer runs, construction
+//          amortized against real simulation work; the representative mix.
+SweepSpec sweep_spec(int n, bool short_cells) {
+  SweepSpec s;
+  s.sizes = {n};
+  s.topo_seeds = {1};
+  s.run_seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  s.threads = {1};
+  if (short_cells) {
+    // Randomized topologies: generation (random-regular sampling, random
+    // trees) is the dominant per-cell cost, which is exactly what the
+    // topology cache amortizes away.
+    s.families = {"expander", "tree"};
+    s.algorithms = {"pingpong"};
+    s.fault_permille = {0};
+    s.pingpong_rounds = 1;
+  } else {
+    s.families = {"grid", "tree"};
+    s.algorithms = {"flood", "mis"};
+    s.fault_permille = {0, 20};
+  }
+  return s;
+}
+
+void BM_SweepWarm(benchmark::State& state) {
+  const SweepSpec spec = sweep_spec(static_cast<int>(state.range(0)),
+                                    state.range(1) != 0);
+  SweepEngine engine;
+  SweepOptions opts;
+  opts.workers = 1;
+  (void)engine.run(spec, opts);  // populate the caches, untimed
+
+  std::int64_t runs = 0;
+  std::int64_t allocs = 0;
+  for (auto _ : state) {
+    const AllocScope scope;
+    const SweepResult& r = engine.run(spec, opts);
+    allocs += scope.delta();
+    runs += static_cast<std::int64_t>(r.records.size());
+    if (r.graphs_built != 0 || r.networks_built != 0) {
+      state.SkipWithError("warm execution rebuilt state");
+      return;
+    }
+    benchmark::DoNotOptimize(r.records.data());
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["cells"] = static_cast<double>(spec.num_cells());
+  state.counters["runs_per_sec"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+  if (alloc_hooks_installed()) {
+    state.counters["allocs_per_run"] =
+        runs > 0 ? static_cast<double>(allocs) / static_cast<double>(runs) : 0.0;
+  }
+  register_rss_counter(state);
+}
+
+void BM_SweepCold(benchmark::State& state) {
+  const SweepSpec spec = sweep_spec(static_cast<int>(state.range(0)),
+                                    state.range(1) != 0);
+  SweepEngine engine;
+  SweepOptions opts;
+  opts.workers = 1;
+  opts.reuse = false;
+
+  std::int64_t runs = 0;
+  for (auto _ : state) {
+    const SweepResult& r = engine.run(spec, opts);
+    runs += static_cast<std::int64_t>(r.records.size());
+    benchmark::DoNotOptimize(r.records.data());
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["cells"] = static_cast<double>(spec.num_cells());
+  state.counters["runs_per_sec"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+  register_rss_counter(state);
+}
+
+BENCHMARK(BM_SweepWarm)
+    ->ArgNames({"n", "short"})
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Args({1024, 0})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepCold)
+    ->ArgNames({"n", "short"})
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Args({1024, 0})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+ECD_BENCH_MAIN("sweep");

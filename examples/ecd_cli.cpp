@@ -25,6 +25,14 @@
 //                                            ecd-profile-v1 JSON and (with
 //                                            --timeline) a per-shard Chrome
 //                                            trace
+//   ecd_cli sweep --spec <file>              expand a declarative JSON grid
+//                                            (family x n x seeds x algorithm
+//                                            x threads x faults) and run it
+//                                            on one SweepEngine with cached
+//                                            topologies/Networks; write the
+//                                            ecd-sweep-v1 summary and
+//                                            (optionally) per-run JSONL
+//                                            reports
 //
 // options: --eps <x>      proximity/approximation parameter (default 0.2)
 //          --seed <k>     RNG seed (default 1)
@@ -64,6 +72,29 @@
 //                                            on the calling thread (default
 //                                            256; 0 = always dispatch)
 //
+// sweep options: --spec <file>               JSON grid spec (axes: families,
+//                                            sizes, topo_seeds, run_seeds,
+//                                            algorithms, threads,
+//                                            fault_permille; scalars:
+//                                            pingpong_rounds,
+//                                            bandwidth_tokens,
+//                                            sparse_serial_threshold,
+//                                            max_rounds — see
+//                                            src/core/sweep.h)
+//                --workers <k>               serial cells multiplexed over k
+//                                            workers (default 1; 0 = hw)
+//                --repeat <k>                run the grid k times on one
+//                                            engine; passes after the first
+//                                            hit warm caches (default 1)
+//                --cold                      fresh Graph/Network per run (the
+//                                            reuse baseline)
+//                --jsonl <path>              per-run ecd-run-report-v1 lines
+//                                            (final pass only)
+//                --out <path>                ecd-sweep-v1 summary (default
+//                                            ecd_sweep.json)
+//                --top <k>                   congested edges per JSONL report
+//                                            (default 4)
+//
 // families for `gen`/`trace`: grid, tri, planar, outer, twotree, tree,
 // torus, hypercube, expander.
 #include <cstdio>
@@ -71,6 +102,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -86,6 +118,7 @@
 #include "src/core/mis.h"
 #include "src/core/mwm.h"
 #include "src/core/property_testing.h"
+#include "src/core/sweep.h"
 #include "src/core/triangles.h"
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
@@ -104,10 +137,33 @@ struct Options {
 };
 
 [[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: ecd_cli <gen|decompose|mis|mcm|mwm|correlate|"
-               "test-planarity|ldd|triangles|trace|report|profile> ... "
-               "(see source header)\n");
+  std::fprintf(
+      stderr,
+      "usage: ecd_cli <command> [options]  (full option list in the source"
+      " header)\n"
+      "commands:\n"
+      "  gen <family> <n> [seed]            write an edge list to stdout\n"
+      "  decompose <file> [opts]            (eps, phi) expander decomposition\n"
+      "  mis <file> [opts]                  (1-eps)-approx MaxIS\n"
+      "  mcm <file> [opts]                  planar maximum cardinality"
+      " matching\n"
+      "  mwm <file> [opts]                  maximum weight matching\n"
+      "  correlate <file> [opts]            correlation clustering\n"
+      "  test-planarity <file> [opts]       planarity property testing\n"
+      "  ldd <file> [opts]                  low-diameter decomposition\n"
+      "  triangles <file>                   distributed triangle census\n"
+      "  trace --family <f> --n <k>         traced pipeline run + hotspot"
+      " report\n"
+      "  report --family <f> --n <k>        metrics registry run ->"
+      " ecd-run-report-v1\n"
+      "  profile --family <f> --n <k>       execution profiler run ->"
+      " ecd-profile-v1\n"
+      "  sweep --spec <file>                declarative run grid over one"
+      " engine\n"
+      "        [--workers <k>] [--repeat <k>] [--cold] [--jsonl <path>]\n"
+      "        [--out <path>] [--top <k>]\n"
+      "families: grid, tri, planar, outer, twotree, tree, torus, hypercube,"
+      " expander\n");
   std::exit(2);
 }
 
@@ -650,6 +706,92 @@ int cmd_triangles(const Options& o) {
   return 0;
 }
 
+int cmd_sweep(int argc, char** argv) {
+  std::string spec_path, jsonl_path, out_path = "ecd_sweep.json";
+  int workers = 1, top_k = 4, repeat = 1;
+  bool cold = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--spec" && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (arg == "--jsonl" && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_k = std::atoi(argv[++i]);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+    } else if (arg == "--cold") {
+      cold = true;
+    } else {
+      usage();
+    }
+  }
+  if (spec_path.empty() || repeat < 1) usage();
+  std::ifstream spec_in(spec_path);
+  if (!spec_in) {
+    std::fprintf(stderr, "cannot open %s\n", spec_path.c_str());
+    return 1;
+  }
+  std::ostringstream spec_text;
+  spec_text << spec_in.rdbuf();
+  try {
+    const ecd::core::SweepSpec spec =
+        ecd::core::parse_sweep_spec(spec_text.str());
+    ecd::core::SweepEngine engine;
+    ecd::core::SweepOptions opt;
+    opt.workers = workers;
+    opt.reuse = !cold;
+    opt.report_top_edges = top_k;
+    std::ofstream jsonl_out;
+    if (!jsonl_path.empty()) {
+      jsonl_out.open(jsonl_path);
+      if (!jsonl_out) {
+        std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
+        return 1;
+      }
+    }
+    const ecd::core::SweepResult* result = nullptr;
+    for (int pass = 0; pass < repeat; ++pass) {
+      // Only the final pass streams JSONL — earlier passes exist to show
+      // the warm-cache throughput, and duplicated report lines would make
+      // the run ids ambiguous.
+      ecd::core::SweepOptions pass_opt = opt;
+      if (pass + 1 != repeat || jsonl_path.empty()) pass_opt.jsonl = nullptr;
+      else pass_opt.jsonl = &jsonl_out;
+      const ecd::core::SweepResult& r = engine.run(spec, pass_opt);
+      std::printf(
+          "pass %d: %zu runs in %.3f ms  (%.1f runs/s, graphs built %lld, "
+          "networks built %lld, cache hits %lld)\n",
+          pass + 1, r.records.size(), r.wall_ns / 1e6, r.runs_per_sec(),
+          static_cast<long long>(r.graphs_built),
+          static_cast<long long>(r.networks_built),
+          static_cast<long long>(r.cache_hits));
+      result = &r;
+    }
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\"schema\":\"ecd-sweep-v1\",\"cells\":" << result->records.size()
+        << ",\"workers\":" << workers << ",\"repeat\":" << repeat
+        << ",\"cold\":" << (cold ? "true" : "false")
+        << ",\"aggregate\":" << result->aggregate_json()
+        << ",\"wall\":" << result->wall_json() << "}\n";
+    std::printf("aggregate: %s\n", result->aggregate_json().c_str());
+    if (!jsonl_path.empty()) std::printf("wrote %s\n", jsonl_path.c_str());
+    std::printf("wrote %s\n", out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -659,6 +801,7 @@ int main(int argc, char** argv) {
   if (cmd == "trace") return cmd_trace(argc, argv);
   if (cmd == "report") return cmd_report(argc, argv);
   if (cmd == "profile") return cmd_profile(argc, argv);
+  if (cmd == "sweep") return cmd_sweep(argc, argv);
   if (argc < 3) usage();
   const Options o = parse(argc, argv, 2);
   if (cmd == "decompose") return cmd_decompose(o);

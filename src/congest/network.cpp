@@ -186,7 +186,19 @@ Network::Network(const Graph& g, NetworkOptions options)
                          vertex_shard[port_owner_[reverse_slot_[gp]]];
     }
   }
-  if (num_shards_ > 1) pool_ = std::make_unique<ThreadPool>(num_shards_);
+  if (num_shards_ > 1) {
+    if (options_.shared_pool &&
+        options_.shared_pool->num_threads() == num_shards_) {
+      // Pool sharing (DESIGN.md §16): dispatch on the caller's pool instead
+      // of spawning a private team. A size mismatch falls through to the
+      // owned pool — the shard layout above is already fixed, and resizing
+      // a shared pool under other Networks would invalidate theirs.
+      pool_ptr_ = options_.shared_pool;
+    } else {
+      pool_ = std::make_unique<ThreadPool>(num_shards_);
+      pool_ptr_ = pool_.get();
+    }
+  }
   shard_accum_.resize(num_shards_);
 
   slot_cap_ = std::max(1, options_.bandwidth_tokens);
@@ -415,12 +427,30 @@ void Network::retire_inbox_buffer() {
   }
 }
 
+void Network::reset_for_run() {
+  reset_mailboxes();
+  prime_worklists();
+  // Staged metrics scratch is cleared here rather than at run end: aborted
+  // runs (CongestionError, max_rounds) unwind past metrics_end_run, and
+  // this keeps their partial accumulators from leaking into the next run.
+  // The registry itself is caller-owned and deliberately untouched — reuse
+  // engines decide whether a run accumulates or starts a fresh report.
+  if (metrics_) {
+    edge_accum_.assign(edge_accum_.size(), EdgeAccum{});
+    std::fill(tag_msgs_.begin(), tag_msgs_.end(), 0);
+    std::fill(tag_words_.begin(), tag_words_.end(), 0);
+    std::fill(cp_depth_.begin(), cp_depth_.end(), 0);
+    cp_stage_.assign(cp_stage_.size(), CpStage{});
+    cp_run_max_ = 0;
+    for (std::vector<VertexId>& touched : cp_touched_) touched.clear();
+  }
+}
+
 RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
   if (static_cast<int>(algorithms.size()) != n_) {
     throw std::invalid_argument("need one algorithm per vertex");
   }
-  reset_mailboxes();
-  prime_worklists();
+  reset_for_run();
   const std::int64_t t0 = ExecutionProfiler::now_ns();
   if (profiler_) profiler_->begin_run(num_shards_);
   if (metrics_) metrics_begin_run();
@@ -914,9 +944,9 @@ RunStats Network::run_parallel(
       // single-writer active buckets, so the only shared writes are each
       // shard's own finished_ range, worklists and accumulator. An
       // exception (CongestionError, bad port) skips phase 1 team-wide,
-      // quiesces at the pool barrier and rethrows here; reset_mailboxes()
-      // + prime_worklists() on the next run() clear the partial round, so
-      // the Network stays reusable.
+      // quiesces at the pool barrier and rethrows here; reset_for_run() on
+      // the next run() clears the partial round, so the Network stays
+      // reusable.
       orphans_.clear();
       int rank = 0;
       for (int s = 0; s < num_shards_; ++s) {
@@ -934,7 +964,7 @@ RunStats Network::run_parallel(
       // The dispatch mark is written before the pool rings the doorbells
       // (seq_cst), so every shard's compute_begin reads it happens-after.
       if (profiler_) profiler_->mark_dispatch();
-      pool_->run_phases(member_.data(), [&](int s, int phase) {
+      pool_ptr_->run_phases(member_.data(), [&](int s, int phase) {
         if (phase == 0) {
           if (profiler_) profiler_->compute_begin(s);
           compute_shard(s, r, algorithms);
@@ -980,16 +1010,9 @@ RunStats Network::run_parallel(
 }
 
 void Network::metrics_begin_run() {
-  // Clearing at run *start* (not end) keeps aborted runs — CongestionError
-  // or max_rounds unwinds skip metrics_end_run — from leaking partial
-  // accumulators into the next run on this Network.
-  edge_accum_.assign(edge_accum_.size(), EdgeAccum{});
-  std::fill(tag_msgs_.begin(), tag_msgs_.end(), 0);
-  std::fill(tag_words_.begin(), tag_words_.end(), 0);
-  std::fill(cp_depth_.begin(), cp_depth_.end(), 0);
-  cp_stage_.assign(cp_stage_.size(), CpStage{});
-  cp_run_max_ = 0;
-  for (std::vector<VertexId>& touched : cp_touched_) touched.clear();
+  // The staged scratch (edge/tag/critical-path accumulators) was already
+  // cleared by reset_for_run() on run entry; this hook only opens the
+  // registry run.
   metrics_->begin_run(n_, g_.num_edges());
 }
 

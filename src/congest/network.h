@@ -114,6 +114,15 @@ struct NetworkOptions {
   // trace snapshots are bit-identical with or without it, and the round
   // path stays allocation-free. Works at every num_threads value.
   ExecutionProfiler* profiler = nullptr;
+  // Externally owned worker pool (DESIGN.md §16). When set and its
+  // num_threads() equals the Network's resolved shard count, the Network
+  // dispatches rounds on it instead of spawning a private pool — so a sweep
+  // over many Networks at the same thread count pays thread creation once,
+  // not once per Network. Any mismatch (including a serial Network) falls
+  // back to the usual behaviour silently. The caller must keep the pool
+  // alive for the Network's lifetime and must not run two Networks on one
+  // pool concurrently (a pool serves one dispatch at a time).
+  ThreadPool* shared_pool = nullptr;
 };
 
 struct RunStats {
@@ -239,6 +248,27 @@ class Network {
   // message statistics. Throws if max_rounds is exceeded.
   RunStats run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms);
 
+  // Restores the Network to the state a fresh construction would leave it
+  // in, without reconstructing anything: clears mailbox arenas and injected
+  // prefixes left by a previous (possibly aborted) run, rewinds the crash
+  // schedule, re-primes the round-0 worklists, and zeroes the staged
+  // metrics scratch (edge/tag/critical-path accumulators). run() calls
+  // this on entry, so back-to-back runs on one Network are already
+  // bit-identical to runs on fresh Networks; the method is public so reuse
+  // engines (src/core/sweep.h) and tests can state — and assert — the
+  // no-carry-over contract explicitly. O(state actually dirtied), zero
+  // allocation.
+  void reset_for_run();
+
+  // Replaces the fault-schedule seed for subsequent runs. Fault decisions
+  // are a pure stateless function of (seed, round, port, slot) and the
+  // seed participates in no preallocation (slot capacities and the crash
+  // schedule depend only on the plan's probabilities and crash list), so
+  // swapping the seed between runs on one Network is exactly equivalent to
+  // constructing a fresh Network with the new seed. No-op in effect when
+  // the plan is disabled.
+  void set_fault_seed(std::uint64_t seed) { options_.faults.seed = seed; }
+
   const graph::Graph& graph() const { return g_; }
 
  private:
@@ -339,7 +369,10 @@ class Network {
   int num_shards_ = 1;
   std::vector<graph::VertexId> shard_begin_;
   std::vector<std::int32_t> send_bucket_;
-  std::unique_ptr<ThreadPool> pool_;  // null when num_shards_ == 1
+  std::unique_ptr<ThreadPool> pool_;  // owned pool; null when serial or shared
+  // The pool rounds actually dispatch on: options_.shared_pool when it
+  // matches num_shards_, otherwise pool_.get(). Null when num_shards_ == 1.
+  ThreadPool* pool_ptr_ = nullptr;
 
   // Directed ports holding at least one message in each buffer — bounds
   // per-round cleanup and stats to the traffic that actually happened.

@@ -1,0 +1,511 @@
+// Tests for the sweep engine (src/core/sweep.h): spec parsing and
+// validation, expansion order, and — the load-bearing part — the reuse
+// contract: warm runs on cached Networks must be bit-identical to fresh
+// standalone runs (records, metrics snapshots, JSONL report lines), and
+// the cross-run aggregate must be byte-identical across worker counts,
+// cold/warm modes and repeated executions. Also covers the Network-level
+// primitives the engine is built on: reset_for_run() (including after an
+// aborted run), set_fault_seed(), and NetworkOptions::shared_pool.
+#include "src/core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/congest/metrics.h"
+#include "src/congest/network.h"
+#include "src/congest/thread_pool.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "tools/json_min.h"
+
+namespace ecd::core {
+namespace {
+
+using congest::Context;
+using congest::MetricsRegistry;
+using congest::Network;
+using congest::NetworkOptions;
+using congest::RunStats;
+using congest::ThreadPool;
+using congest::VertexAlgorithm;
+using graph::Graph;
+
+// --- Spec parsing -----------------------------------------------------------
+
+TEST(SweepSpec, ParseEmptyGivesDefaults) {
+  const SweepSpec s = parse_sweep_spec("{}");
+  EXPECT_EQ(s.families, std::vector<std::string>{"grid"});
+  EXPECT_EQ(s.sizes, std::vector<int>{256});
+  EXPECT_EQ(s.topo_seeds, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(s.run_seeds, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(s.algorithms, std::vector<std::string>{"flood"});
+  EXPECT_EQ(s.threads, std::vector<int>{1});
+  EXPECT_EQ(s.fault_permille, std::vector<int>{0});
+  EXPECT_EQ(s.pingpong_rounds, 16);
+  EXPECT_EQ(s.bandwidth_tokens, 2);
+  EXPECT_EQ(s.num_cells(), 1);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(SweepSpec, ParseFullSpec) {
+  const SweepSpec s = parse_sweep_spec(R"({
+    "families": ["grid", "tree"],
+    "sizes": [64, 128],
+    "topo_seeds": [1, 2, 3],
+    "run_seeds": [7, 8],
+    "algorithms": ["flood", "mis", "pingpong"],
+    "threads": [1, 4],
+    "fault_permille": [0, 25],
+    "pingpong_rounds": 8,
+    "bandwidth_tokens": 3,
+    "sparse_serial_threshold": 0,
+    "max_rounds": 100000
+  })");
+  EXPECT_EQ(s.families, (std::vector<std::string>{"grid", "tree"}));
+  EXPECT_EQ(s.sizes, (std::vector<int>{64, 128}));
+  EXPECT_EQ(s.topo_seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(s.run_seeds, (std::vector<std::uint64_t>{7, 8}));
+  EXPECT_EQ(s.algorithms, (std::vector<std::string>{"flood", "mis", "pingpong"}));
+  EXPECT_EQ(s.threads, (std::vector<int>{1, 4}));
+  EXPECT_EQ(s.fault_permille, (std::vector<int>{0, 25}));
+  EXPECT_EQ(s.pingpong_rounds, 8);
+  EXPECT_EQ(s.bandwidth_tokens, 3);
+  EXPECT_EQ(s.sparse_serial_threshold, 0);
+  EXPECT_EQ(s.max_rounds, 100000);
+  EXPECT_EQ(s.num_cells(), 2 * 2 * 3 * 2 * 3 * 2 * 2);
+}
+
+TEST(SweepSpec, UnknownKeyThrows) {
+  EXPECT_THROW(parse_sweep_spec(R"({"familys": ["grid"]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(R"({"size": [64]})"), std::invalid_argument);
+}
+
+TEST(SweepSpec, BadValuesThrow) {
+  // Wrong JSON types.
+  EXPECT_THROW(parse_sweep_spec(R"({"sizes": "64"})"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(R"({"families": [64]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(R"({"pingpong_rounds": [4]})"),
+               std::invalid_argument);
+  // Structurally valid, semantically bad: validate() throws.
+  EXPECT_THROW(parse_sweep_spec(R"({"families": ["moebius"]})").validate(),
+               std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(R"({"algorithms": ["bfs"]})").validate(),
+               std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(R"({"sizes": [1]})").validate(),
+               std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(R"({"sizes": []})").validate(),
+               std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(R"({"fault_permille": [500]})").validate(),
+               std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(R"({"threads": [-1]})").validate(),
+               std::invalid_argument);
+}
+
+// --- Expansion --------------------------------------------------------------
+
+TEST(ExpandSweep, OrderAndContiguity) {
+  SweepSpec s;
+  s.families = {"grid", "tree"};
+  s.sizes = {64};
+  s.topo_seeds = {1};
+  s.algorithms = {"flood", "mis"};
+  s.threads = {1, 2};
+  s.fault_permille = {0, 10};
+  s.run_seeds = {1, 2, 3};
+  const std::vector<SweepCell> cells = expand_sweep(s);
+  ASSERT_EQ(static_cast<std::int64_t>(cells.size()), s.num_cells());
+  ASSERT_EQ(cells.size(), 2u * 2 * 2 * 2 * 3);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, static_cast<std::int64_t>(i));
+    // run_seed is the fastest axis...
+    EXPECT_EQ(cells[i].run_seed, s.run_seeds[i % s.run_seeds.size()]);
+    // ...so cells within a |run_seeds| block share every other coordinate
+    // (the contiguity the network cache's grouping relies on).
+    const SweepCell& head = cells[i - i % s.run_seeds.size()];
+    EXPECT_EQ(cells[i].family, head.family);
+    EXPECT_EQ(cells[i].n, head.n);
+    EXPECT_EQ(cells[i].topo_seed, head.topo_seed);
+    EXPECT_EQ(cells[i].algorithm, head.algorithm);
+    EXPECT_EQ(cells[i].threads, head.threads);
+    EXPECT_EQ(cells[i].fault_permille, head.fault_permille);
+  }
+  // families is the slowest axis.
+  EXPECT_EQ(cells.front().family, "grid");
+  EXPECT_EQ(cells.back().family, "tree");
+  // fault_permille is the second-fastest.
+  EXPECT_EQ(cells[0].fault_permille, 0);
+  EXPECT_EQ(cells[3].fault_permille, 10);
+}
+
+// --- The reuse contract -----------------------------------------------------
+
+// A mixed grid small enough to run in tests yet covering every axis the
+// caches key on: two families, three algorithms, serial and parallel
+// cells, faults on and off, several run seeds.
+SweepSpec mixed_spec() {
+  SweepSpec s;
+  s.families = {"grid", "tree"};
+  s.sizes = {96};
+  s.topo_seeds = {1};
+  s.run_seeds = {1, 2};
+  s.algorithms = {"flood", "mis", "pingpong"};
+  s.threads = {1, 4};
+  s.fault_permille = {0, 25};
+  s.pingpong_rounds = 8;
+  return s;
+}
+
+void expect_records_equal(const SweepRunRecord& got,
+                          const SweepRunRecord& want) {
+  EXPECT_EQ(got.cell.index, want.cell.index);
+  EXPECT_EQ(got.result_word, want.result_word) << "cell " << got.cell.index;
+  EXPECT_EQ(got.stats.rounds, want.stats.rounds) << "cell " << got.cell.index;
+  EXPECT_EQ(got.stats.messages_sent, want.stats.messages_sent);
+  EXPECT_EQ(got.stats.words_sent, want.stats.words_sent);
+  EXPECT_EQ(got.stats.max_edge_load, want.stats.max_edge_load);
+  EXPECT_EQ(got.stats.messages_dropped, want.stats.messages_dropped);
+  EXPECT_EQ(got.stats.messages_duplicated, want.stats.messages_duplicated);
+  EXPECT_EQ(got.stats.messages_delayed, want.stats.messages_delayed);
+  EXPECT_EQ(got.stats.vertices_crashed, want.stats.vertices_crashed);
+}
+
+TEST(SweepEngine, WarmRecordsMatchFreshRuns) {
+  const SweepSpec spec = mixed_spec();
+  SweepEngine engine;
+  // Two consecutive warm executions: the second reuses every cached
+  // Network (N consecutive runs per Network across both passes).
+  (void)engine.run(spec);
+  const SweepResult& warm = engine.run(spec);
+  EXPECT_EQ(warm.graphs_built, 0);
+  EXPECT_EQ(warm.networks_built, 0);
+  EXPECT_EQ(warm.cache_hits, spec.num_cells());
+  const std::vector<SweepCell> cells = expand_sweep(spec);
+  ASSERT_EQ(warm.records.size(), cells.size());
+  for (const SweepCell& cell : cells) {
+    const SweepRunRecord fresh = SweepEngine::run_cell_fresh(spec, cell);
+    expect_records_equal(warm.records[static_cast<std::size_t>(cell.index)],
+                         fresh);
+  }
+}
+
+TEST(SweepEngine, AggregateByteIdenticalAcrossWorkersAndModes) {
+  const SweepSpec spec = mixed_spec();
+  SweepEngine engine;
+  SweepOptions o1;
+  o1.workers = 1;
+  const std::string warm1 = engine.run(spec, o1).aggregate_json();
+  SweepOptions o4;
+  o4.workers = 4;
+  const std::string warm4 = engine.run(spec, o4).aggregate_json();
+  const std::string warm4b = engine.run(spec, o4).aggregate_json();
+  SweepOptions cold;
+  cold.workers = 4;
+  cold.reuse = false;
+  SweepEngine fresh_engine;
+  const std::string cold4 = fresh_engine.run(spec, cold).aggregate_json();
+  EXPECT_EQ(warm1, warm4);
+  EXPECT_EQ(warm1, warm4b);
+  EXPECT_EQ(warm1, cold4);
+  // The aggregate is non-trivial: it actually saw the runs.
+  const jsonmin::Value doc = jsonmin::parse(warm1);
+  EXPECT_EQ(doc.at("schema").string, "ecd-sweep-aggregate-v1");
+  EXPECT_EQ(static_cast<std::int64_t>(doc.at("runs").number),
+            spec.num_cells());
+  EXPECT_GT(doc.at("totals").at("messages").number, 0.0);
+  EXPECT_GT(doc.at("totals").at("dropped").number, 0.0);
+}
+
+TEST(SweepEngine, ColdModeCachesNothing) {
+  const SweepSpec spec = mixed_spec();
+  SweepEngine engine;
+  SweepOptions cold;
+  cold.reuse = false;
+  const SweepResult& r = engine.run(spec, cold);
+  EXPECT_EQ(r.graphs_built, spec.num_cells());
+  EXPECT_EQ(r.networks_built, spec.num_cells());
+  EXPECT_EQ(r.cache_hits, 0);
+  // Nothing was cached: the next warm run builds everything.
+  const SweepResult& warm = engine.run(spec);
+  EXPECT_GT(warm.graphs_built, 0);
+  EXPECT_GT(warm.networks_built, 0);
+}
+
+TEST(SweepEngine, ClearCacheMakesNextRunCold) {
+  SweepSpec spec;
+  spec.sizes = {64};
+  SweepEngine engine;
+  (void)engine.run(spec);
+  engine.clear_cache();
+  const SweepResult& r = engine.run(spec);
+  EXPECT_EQ(r.graphs_built, 1);
+  EXPECT_EQ(r.networks_built, 1);
+}
+
+// Splits an ecd-run-report-v1 line into the deterministic prefix (up to
+// the "wall" section) and suffix (from "metrics" on). Wall clock is the
+// one non-deterministic section; everything else must match byte-for-byte.
+std::pair<std::string, std::string> split_report_line(const std::string& line) {
+  const std::size_t wall = line.find(",\"wall\":");
+  const std::size_t metrics = line.find(",\"metrics\":");
+  EXPECT_NE(wall, std::string::npos) << line.substr(0, 120);
+  EXPECT_NE(metrics, std::string::npos) << line.substr(0, 120);
+  return {line.substr(0, wall), line.substr(metrics)};
+}
+
+TEST(SweepEngine, JsonlLinesBitIdenticalToStandaloneRuns) {
+  const SweepSpec spec = mixed_spec();
+  SweepEngine engine;
+  (void)engine.run(spec);  // warm the caches first: reporting runs reuse too
+  std::ostringstream sink;
+  SweepOptions opts;
+  opts.workers = 4;
+  opts.jsonl = &sink;
+  (void)engine.run(spec, opts);
+
+  const std::vector<SweepCell> cells = expand_sweep(spec);
+  std::vector<std::string> lines(cells.size());
+  std::istringstream in(sink.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    const jsonmin::Value doc = jsonmin::parse(line);
+    EXPECT_EQ(doc.at("schema").string, "ecd-run-report-v1");
+    // Info values are emitted as JSON strings.
+    const auto run =
+        static_cast<std::size_t>(std::stoull(doc.at("info").at("run").string));
+    ASSERT_LT(run, lines.size());
+    lines[run] = line + "\n";
+    ++count;
+  }
+  ASSERT_EQ(count, cells.size());  // one line per cell, each exactly once
+  for (const SweepCell& cell : cells) {
+    const std::string ref = SweepEngine::reference_report_line(spec, cell);
+    const auto [got_head, got_tail] =
+        split_report_line(lines[static_cast<std::size_t>(cell.index)]);
+    const auto [want_head, want_tail] = split_report_line(ref);
+    EXPECT_EQ(got_head, want_head) << "cell " << cell.index;
+    EXPECT_EQ(got_tail, want_tail) << "cell " << cell.index;
+  }
+}
+
+// --- Network::reset_for_run -------------------------------------------------
+
+// Minimal flood: vertex 0 seeds a value, everyone forwards it once.
+class FloodProbe final : public VertexAlgorithm {
+ public:
+  explicit FloodProbe(bool source) : source_(source) {}
+  void round(Context& ctx) override {
+    if (ctx.round() == 0) {
+      if (source_) value_ = 41;
+      if (value_ && !sent_) broadcast(ctx);
+      return;
+    }
+    for (int p = 0; p < ctx.num_ports(); ++p) {
+      for (const congest::Message& m : ctx.inbox(p)) {
+        if (!value_) value_ = m.words[0];
+      }
+    }
+    if (value_ && !sent_) broadcast(ctx);
+    done_ = true;
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  void broadcast(Context& ctx) {
+    for (int p = 0; p < ctx.num_ports(); ++p) ctx.send(p, {{value_}});
+    sent_ = true;
+    done_ = false;
+  }
+  bool source_ = false;
+  std::int64_t value_ = 0;
+  bool sent_ = false;
+  bool done_ = false;
+};
+
+// Sends on round 0 then throws: leaves the mailboxes, worklists and
+// metrics scratch mid-run dirty, the state reset_for_run must clear.
+class AbortProbe final : public VertexAlgorithm {
+ public:
+  void round(Context& ctx) override {
+    for (int p = 0; p < ctx.num_ports(); ++p) ctx.send(p, {{99}});
+    if (ctx.round() >= 1) throw std::runtime_error("abort probe");
+  }
+  bool finished() const override { return false; }
+};
+
+std::vector<std::unique_ptr<VertexAlgorithm>> flood_algos(int n) {
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    algos.push_back(std::make_unique<FloodProbe>(v == 0));
+  }
+  return algos;
+}
+
+NetworkOptions probe_options(MetricsRegistry* metrics) {
+  NetworkOptions o;
+  o.bandwidth_tokens = 2;
+  o.metrics = metrics;
+  return o;
+}
+
+TEST(NetworkResetForRun, RepeatMatchesFreshNetwork) {
+  const Graph g = graph::grid(8, 8);
+  MetricsRegistry reused_metrics;
+  Network reused(g, probe_options(&reused_metrics));
+  std::string first_snapshot;
+  RunStats first{};
+  // Three consecutive runs on one Network; run() calls reset_for_run() on
+  // entry, so every pass must reproduce the first bit-for-bit.
+  for (int pass = 0; pass < 3; ++pass) {
+    auto algos = flood_algos(g.num_vertices());
+    reused_metrics.reset();
+    const RunStats stats = reused.run(algos);
+    const std::string snapshot = reused_metrics.to_json();
+    if (pass == 0) {
+      first = stats;
+      first_snapshot = snapshot;
+    } else {
+      EXPECT_EQ(stats.rounds, first.rounds);
+      EXPECT_EQ(stats.messages_sent, first.messages_sent);
+      EXPECT_EQ(stats.words_sent, first.words_sent);
+      EXPECT_EQ(stats.max_edge_load, first.max_edge_load);
+      EXPECT_EQ(snapshot, first_snapshot) << "pass " << pass;
+    }
+  }
+  // ...and a fresh Network agrees with all of them.
+  MetricsRegistry fresh_metrics;
+  Network fresh(g, probe_options(&fresh_metrics));
+  auto algos = flood_algos(g.num_vertices());
+  const RunStats stats = fresh.run(algos);
+  EXPECT_EQ(stats.rounds, first.rounds);
+  EXPECT_EQ(stats.messages_sent, first.messages_sent);
+  EXPECT_EQ(fresh_metrics.to_json(), first_snapshot);
+}
+
+TEST(NetworkResetForRun, NoCarryOverAfterAbortedRun) {
+  const Graph g = graph::grid(8, 8);
+  MetricsRegistry metrics;
+  Network net(g, probe_options(&metrics));
+  {
+    // Abort a run mid-flight: mailboxes hold queued messages, worklists
+    // and staged metric scratch are dirty.
+    std::vector<std::unique_ptr<VertexAlgorithm>> aborters;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      aborters.push_back(std::make_unique<AbortProbe>());
+    }
+    EXPECT_THROW(net.run(aborters), std::runtime_error);
+  }
+  net.reset_for_run();
+  metrics.reset();
+  auto algos = flood_algos(g.num_vertices());
+  const RunStats stats = net.run(algos);
+
+  MetricsRegistry fresh_metrics;
+  Network fresh(g, probe_options(&fresh_metrics));
+  auto fresh_algos = flood_algos(g.num_vertices());
+  const RunStats want = fresh.run(fresh_algos);
+  EXPECT_EQ(stats.rounds, want.rounds);
+  EXPECT_EQ(stats.messages_sent, want.messages_sent);
+  EXPECT_EQ(stats.words_sent, want.words_sent);
+  EXPECT_EQ(metrics.to_json(), fresh_metrics.to_json());
+}
+
+TEST(NetworkResetForRun, SetFaultSeedMatchesFreshNetworkWithThatSeed) {
+  const Graph g = graph::grid(8, 8);
+  NetworkOptions base;
+  base.bandwidth_tokens = 2;
+  base.faults.drop_probability = 0.05;
+  base.faults.duplicate_probability = 0.02;
+  base.faults.seed = 1;
+
+  Network reused(g, base);
+  for (const std::uint64_t seed : {2ULL, 3ULL, 4ULL}) {
+    reused.set_fault_seed(seed);
+    auto algos = flood_algos(g.num_vertices());
+    const RunStats got = reused.run(algos);
+
+    NetworkOptions fresh_opts = base;
+    fresh_opts.faults.seed = seed;
+    Network fresh(g, fresh_opts);
+    auto fresh_algos = flood_algos(g.num_vertices());
+    const RunStats want = fresh.run(fresh_algos);
+    EXPECT_EQ(got.rounds, want.rounds) << "seed " << seed;
+    EXPECT_EQ(got.messages_sent, want.messages_sent) << "seed " << seed;
+    EXPECT_EQ(got.messages_dropped, want.messages_dropped) << "seed " << seed;
+    EXPECT_EQ(got.messages_duplicated, want.messages_duplicated)
+        << "seed " << seed;
+  }
+  // Distinct seeds actually produce distinct fault schedules somewhere in
+  // the sweep above (else the test proves nothing); check 2 vs 3 directly.
+  reused.set_fault_seed(2);
+  auto a2 = flood_algos(g.num_vertices());
+  const RunStats s2 = reused.run(a2);
+  reused.set_fault_seed(3);
+  auto a3 = flood_algos(g.num_vertices());
+  const RunStats s3 = reused.run(a3);
+  EXPECT_TRUE(s2.messages_dropped != s3.messages_dropped ||
+              s2.messages_sent != s3.messages_sent ||
+              s2.messages_duplicated != s3.messages_duplicated);
+}
+
+// --- NetworkOptions::shared_pool --------------------------------------------
+
+TEST(NetworkSharedPool, MatchingPoolIsBitIdenticalToPrivatePool) {
+  const Graph g = graph::grid(12, 12);
+  MetricsRegistry m_private;
+  NetworkOptions o_private = probe_options(&m_private);
+  o_private.num_threads = 4;
+  o_private.sparse_serial_threshold = 0;  // force the parallel path
+  Network net_private(g, o_private);
+  auto algos = flood_algos(g.num_vertices());
+  const RunStats want = net_private.run(algos);
+
+  ThreadPool pool(4);
+  MetricsRegistry m_shared;
+  NetworkOptions o_shared = o_private;
+  o_shared.metrics = &m_shared;
+  o_shared.shared_pool = &pool;
+  Network net_shared(g, o_shared);
+  auto algos2 = flood_algos(g.num_vertices());
+  const RunStats got = net_shared.run(algos2);
+  EXPECT_EQ(got.rounds, want.rounds);
+  EXPECT_EQ(got.messages_sent, want.messages_sent);
+  EXPECT_EQ(got.max_edge_load, want.max_edge_load);
+  EXPECT_EQ(m_shared.to_json(), m_private.to_json());
+}
+
+TEST(NetworkSharedPool, MismatchedPoolFallsBackSilently) {
+  const Graph g = graph::grid(8, 8);
+  ThreadPool pool(2);  // wrong size for a 4-shard network
+  NetworkOptions o;
+  o.bandwidth_tokens = 2;
+  o.num_threads = 4;
+  o.sparse_serial_threshold = 0;
+  o.shared_pool = &pool;
+  Network net(g, o);
+  auto algos = flood_algos(g.num_vertices());
+  const RunStats got = net.run(algos);
+
+  NetworkOptions serial = o;
+  serial.num_threads = 1;
+  serial.shared_pool = nullptr;
+  Network ref(g, serial);
+  auto ref_algos = flood_algos(g.num_vertices());
+  const RunStats want = ref.run(ref_algos);
+  EXPECT_EQ(got.rounds, want.rounds);
+  EXPECT_EQ(got.messages_sent, want.messages_sent);
+  EXPECT_EQ(got.max_edge_load, want.max_edge_load);
+}
+
+}  // namespace
+}  // namespace ecd::core

@@ -250,6 +250,57 @@ TEST(BenchCompare, SpeedupColumnSkipsRowsWithoutSerialSibling) {
   }
 }
 
+TEST(BenchCompare, RunsPerSecRegressionTripsGate) {
+  // bench_sweep's throughput counter: gated through the generic _per_sec
+  // suffix rule like every other throughput floor.
+  const Value base = parse(snapshot({{"BM_SweepWarm/n:256", R"("runs_per_sec":4000)"}}));
+  const Value bad = parse(snapshot({{"BM_SweepWarm/n:256", R"("runs_per_sec":3000)"}}));
+  const CompareResult r = compare_bench_snapshots(base, bad);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].counter, "runs_per_sec");
+  EXPECT_TRUE(r.deltas[0].gated);
+  const Value dip = parse(snapshot({{"BM_SweepWarm/n:256", R"("runs_per_sec":3700)"}}));
+  EXPECT_TRUE(compare_bench_snapshots(base, dip).ok);
+}
+
+TEST(BenchCompare, AllocsPerRunGatedLikeAllocsPerRound) {
+  // The sweep engine's per-run allocation contract is an absolute gate.
+  const Value base = parse(snapshot({{"BM_SweepWarm/n:256", R"("allocs_per_run":0)"}}));
+  const Value bad = parse(snapshot({{"BM_SweepWarm/n:256", R"("allocs_per_run":3)"}}));
+  const CompareResult r = compare_bench_snapshots(base, bad);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_TRUE(r.issues[0].fatal);
+  EXPECT_EQ(r.issues[0].counter, "allocs_per_run");
+  const Value jitter = parse(snapshot({{"BM_SweepWarm/n:256", R"("allocs_per_run":0.4)"}}));
+  EXPECT_TRUE(compare_bench_snapshots(base, jitter).ok);
+}
+
+TEST(BenchCompare, PeakRssIsInformationalNeverGated) {
+  // Peak RSS is process-wide and monotonic across rows: a huge increase
+  // must surface in the delta table but never fail the gate.
+  const Value base = parse(snapshot(
+      {{"BM_A", R"("rounds_per_sec":1000,"peak_rss_mb":120)"}}));
+  const Value cur = parse(snapshot(
+      {{"BM_A", R"("rounds_per_sec":1000,"peak_rss_mb":9000)"}}));
+  const CompareResult r = compare_bench_snapshots(base, cur);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.counters_compared, 1);  // peak_rss_mb is not a gated counter
+  const CounterDelta* rss = nullptr;
+  for (const CounterDelta& d : r.deltas) {
+    if (d.counter == "peak_rss_mb") rss = &d;
+  }
+  ASSERT_NE(rss, nullptr);
+  EXPECT_FALSE(rss->gated);
+  EXPECT_TRUE(rss->has_baseline);
+  EXPECT_DOUBLE_EQ(rss->baseline, 120);
+  EXPECT_DOUBLE_EQ(rss->current, 9000);
+  const std::string text = format_compare_result(r);
+  EXPECT_NE(text.find("peak_rss_mb"), std::string::npos);
+  EXPECT_NE(text.find("info"), std::string::npos);
+}
+
 TEST(BenchCompare, FormatMentionsEveryIssue) {
   const Value base = parse(snapshot({{"BM_A", R"("rounds_per_sec":1000)"},
                                      {"BM_B", R"("rounds_per_sec":500)"}}));

@@ -120,8 +120,12 @@ CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
     ++result.rows_compared;
     for (const auto& [cname, base_value] : base.counters) {
       const auto cit = cur.counters.find(cname);
+      // `_per_sec` covers every throughput counter, including the sweep
+      // engine's `runs_per_sec` (bench_sweep): a warm-path regression there
+      // trips the gate like any other throughput floor.
       const bool is_throughput = ends_with(cname, "_per_sec");
-      const bool is_alloc = cname == "allocs_per_round";
+      const bool is_alloc =
+          cname == "allocs_per_round" || cname == "allocs_per_run";
       if (!is_throughput && !is_alloc) continue;
       if (cit == cur.counters.end()) {
         result.issues.push_back(
@@ -152,10 +156,13 @@ CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
       }
     }
     // Informational deltas: profile_* counters from the execution profiler
-    // (--ecd_profile). Never gated — wall-clock fractions vary with the
-    // machine — but surfaced so the table explains a throughput delta.
+    // (--ecd_profile), and peak_rss_mb. Never gated — wall-clock fractions
+    // vary with the machine, and peak RSS is process-wide and monotonic
+    // across rows (a row measured after a bigger one inherits its peak) —
+    // but surfaced so the table explains a throughput delta or a memory
+    // blow-up.
     for (const auto& [cname, cur_value] : cur.counters) {
-      if (cname.rfind("profile_", 0) != 0) continue;
+      if (cname.rfind("profile_", 0) != 0 && cname != "peak_rss_mb") continue;
       const auto bit = base.counters.find(cname);
       const bool has_base = bit != base.counters.end();
       result.deltas.push_back(

@@ -6,10 +6,15 @@
 // `baseline`:
 //
 //   * every counter ending in `_per_sec` is a throughput: it fails when
-//     current < baseline * (1 - throughput_threshold)  (default -10%);
-//   * `allocs_per_round` is an absolute contract: it fails when
-//     current > baseline + alloc_slack (default 0.5 — i.e. "stays ~0"
-//     must stay ~0, but one-off warm-up jitter is tolerated);
+//     current < baseline * (1 - throughput_threshold)  (default -10%).
+//     This includes the sweep engine's `runs_per_sec` (bench_sweep) — the
+//     warm reuse path is gated like any other throughput;
+//   * `allocs_per_round` and `allocs_per_run` are absolute contracts: they
+//     fail when current > baseline + alloc_slack (default 0.5 — i.e.
+//     "stays ~0" must stay ~0, but one-off warm-up jitter is tolerated);
+//   * `peak_rss_mb` is reported as an informational delta, never gated:
+//     peak RSS is process-wide and monotonic across a binary's rows, so a
+//     row's value depends on what ran before it;
 //   * rows present in the baseline but missing from the current snapshot
 //     are warnings, not failures — CI smoke runs a --benchmark_filter
 //     subset of the committed baseline;
@@ -44,8 +49,9 @@ struct CompareIssue {
 // One baseline-vs-current counter pairing, collected for every common row —
 // on passes as well as failures, so the CI log always shows how close each
 // benchmark sat to its floor. Gated deltas cover the regression-checked
-// counters (`*_per_sec`, `allocs_per_round`); informational deltas cover
-// `profile_*` counters when the current snapshot was taken under
+// counters (`*_per_sec`, `allocs_per_round`, `allocs_per_run`);
+// informational deltas cover `peak_rss_mb` and `profile_*` counters —
+// the latter when the current snapshot was taken under
 // --ecd_profile (barrier-wait fraction, load imbalance — the baseline
 // usually lacks them, hence has_baseline), and `<counter>_speedup_x`
 // parallel-speedup ratios: for every current row with a threads:K axis
