@@ -71,11 +71,16 @@
 //                                            with <= k active vertices run
 //                                            on the calling thread (default
 //                                            256; 0 = always dispatch)
+//                  --churn-permille <c>      deterministic topology churn of
+//                                            ~c/1000 of the edges (the sweep
+//                                            schedule, core::make_churn_plan;
+//                                            flood/mis workloads only)
 //
 // sweep options: --spec <file>               JSON grid spec (axes: families,
 //                                            sizes, topo_seeds, run_seeds,
 //                                            algorithms, threads,
-//                                            fault_permille; scalars:
+//                                            fault_permille,
+//                                            churn_permille; scalars:
 //                                            pingpong_rounds,
 //                                            bandwidth_tokens,
 //                                            sparse_serial_threshold,
@@ -476,7 +481,8 @@ class ProfileFloodAlgo final : public ecd::congest::VertexAlgorithm {
 int cmd_profile(int argc, char** argv) {
   std::string family = "grid", out_path = "ecd_profile.json", timeline_path;
   std::string workload = "gather";
-  int n = 1024, threads = 1, fault_permille = 0, ring = 4096;
+  int n = 1024, threads = 1, fault_permille = 0, churn_permille = 0;
+  int ring = 4096;
   int sparse_threshold = ecd::congest::NetworkOptions{}.sparse_serial_threshold;
   double eps = 0.2;
   std::uint64_t seed = 1;
@@ -497,6 +503,8 @@ int cmd_profile(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--fault-permille" && i + 1 < argc) {
       fault_permille = std::atoi(argv[++i]);
+    } else if (arg == "--churn-permille" && i + 1 < argc) {
+      churn_permille = std::atoi(argv[++i]);
     } else if (arg == "--workload" && i + 1 < argc) {
       workload = argv[++i];
       if (workload != "gather" && workload != "flood" && workload != "mis") {
@@ -514,6 +522,12 @@ int cmd_profile(int argc, char** argv) {
       usage();
     }
   }
+  if (churn_permille > 0 && workload == "gather") {
+    // The gather pipeline drives its own Network sequence through the
+    // framework; churn there is an experiment, not a profiler knob.
+    std::fprintf(stderr, "--churn-permille requires --workload flood or mis\n");
+    return 2;
+  }
   ecd::graph::Rng rng(seed);
   const Graph g = make_family(family, n, rng);
 
@@ -529,6 +543,9 @@ int cmd_profile(int argc, char** argv) {
     if (fault_permille > 0) {
       nopt.faults.seed = seed;
       nopt.faults.drop_probability = fault_permille / 1000.0;
+    }
+    if (churn_permille > 0) {
+      nopt.faults.churn = ecd::core::make_churn_plan(g, seed, churn_permille);
     }
     ecd::congest::Network net(g, nopt);
     std::vector<std::unique_ptr<ecd::congest::VertexAlgorithm>> algos;
@@ -546,6 +563,9 @@ int cmd_profile(int argc, char** argv) {
     nopt.num_threads = threads;
     nopt.sparse_serial_threshold = sparse_threshold;
     nopt.profiler = &profiler;
+    if (churn_permille > 0) {
+      nopt.faults.churn = ecd::core::make_churn_plan(g, seed, churn_permille);
+    }
     const auto r = ecd::baselines::luby_mis(g, seed, nopt);
     std::printf("family=%s n=%d m=%d threads=%d mis=%zu\n", family.c_str(),
                 g.num_vertices(), g.num_edges(), threads,
@@ -591,7 +611,8 @@ int cmd_profile(int argc, char** argv) {
               {"eps", std::to_string(eps)},
               {"seed", std::to_string(seed)},
               {"threads", std::to_string(threads)},
-              {"fault_permille", std::to_string(fault_permille)}};
+              {"fault_permille", std::to_string(fault_permille)},
+              {"churn_permille", std::to_string(churn_permille)}};
   ecd::congest::write_profile_report(out, profiler, ctx);
   std::printf("wrote %s (ecd-profile-v1)\n", out_path.c_str());
   if (!timeline_path.empty()) {

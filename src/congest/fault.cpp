@@ -35,6 +35,24 @@ void FaultPlan::validate(int num_vertices) const {
     }
     if (c.round < 0) bad("crash round must be >= 0");
   }
+  for (const ChurnEvent& e : churn) {
+    const bool edge_event =
+        e.kind == ChurnKind::kEdgeInsert || e.kind == ChurnKind::kEdgeDelete;
+    auto check_vertex = [&](graph::VertexId v, const char* which) {
+      if (v < 0 || v >= num_vertices) {
+        std::ostringstream os;
+        os << "FaultPlan: churn event names " << which << " vertex " << v
+           << " outside [0, " << num_vertices << ")";
+        throw std::invalid_argument(os.str());
+      }
+    };
+    check_vertex(e.u, "first");
+    if (edge_event) {
+      check_vertex(e.v, "second");
+      if (e.u == e.v) bad("churn edge event is a self loop");
+    }
+    if (e.round < 0) bad("churn event round must be >= 0");
+  }
 }
 
 }  // namespace ecd::congest

@@ -43,6 +43,45 @@ struct CrashEvent {
   std::int64_t round = 0;
 };
 
+// Scheduled topology events (churn). Unlike the probabilistic message
+// faults these are an explicit list — the schedule is data, not draws —
+// but like them it is fixed at Network construction, applied at
+// deterministic points (between rounds, on the caller thread), and
+// therefore bit-identical across thread counts.
+//
+// Semantics (details in DESIGN.md §17):
+//   * kEdgeDelete  — edge {u, v} stops carrying traffic before round
+//     `round` executes. Messages already sitting in the round's inbox are
+//     still delivered; in-flight delayed messages on the edge are lost.
+//   * kEdgeInsert  — edge {u, v} starts carrying traffic at round `round`.
+//     Inserting an edge that is already live is a no-op. Every insertable
+//     edge is known at construction, so port numbering is fixed up front
+//     and surviving edges keep their ports across any event sequence.
+//   * kNodeLeave   — vertex u stops executing at round `round` (like a
+//     crash) and every incident live edge is deleted.
+//   * kNodeJoin    — vertex u resumes executing at round `round`;
+//     edges are NOT restored (schedule explicit kEdgeInsert events for
+//     the links the returning node re-establishes). Joining a present
+//     vertex is a no-op.
+enum class ChurnKind : std::uint8_t {
+  kEdgeInsert,
+  kEdgeDelete,
+  kNodeLeave,
+  kNodeJoin,
+};
+
+struct ChurnEvent {
+  ChurnKind kind = ChurnKind::kEdgeDelete;
+  // Events fire before this round's compute phase (0 = before the run's
+  // first round).
+  std::int64_t round = 0;
+  graph::VertexId u = graph::kInvalidVertex;
+  // Second endpoint for edge events; ignored for node events.
+  graph::VertexId v = graph::kInvalidVertex;
+
+  bool operator==(const ChurnEvent&) const = default;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
 
@@ -62,15 +101,23 @@ struct FaultPlan {
 
   std::vector<CrashEvent> crashes;
 
+  // Scheduled topology events, applied between rounds in schedule order
+  // (ties broken by list position). May be given unsorted.
+  std::vector<ChurnEvent> churn;
+
   bool has_message_faults() const {
     return drop_probability > 0.0 || duplicate_probability > 0.0 ||
            delay_probability > 0.0;
   }
-  bool enabled() const { return has_message_faults() || !crashes.empty(); }
+  bool has_churn() const { return !churn.empty(); }
+  bool enabled() const {
+    return has_message_faults() || !crashes.empty() || has_churn();
+  }
 
   // Throws std::invalid_argument on malformed probabilities, a non-positive
-  // delay bound with delay enabled, or a crash naming a vertex outside
-  // [0, num_vertices). Called by the Network constructor.
+  // delay bound with delay enabled, a crash or churn event naming a vertex
+  // outside [0, num_vertices), a churn edge event with u == v, or a
+  // negative event round. Called by the Network constructor.
   void validate(int num_vertices) const;
 };
 

@@ -90,6 +90,8 @@ void MetricsRegistry::record_round(const RunStats& round) {
     stats.messages_duplicated += round.messages_duplicated;
     stats.messages_delayed += round.messages_delayed;
     stats.vertices_crashed += round.vertices_crashed;
+    stats.churn_events += round.churn_events;
+    stats.messages_purged += round.messages_purged;
   };
   accrue(totals_);
   round_messages_.record(round.messages_sent);
@@ -240,7 +242,9 @@ void write_stats_json(std::ostream& os, const RunStats& s) {
      << ",\"dropped\":" << s.messages_dropped
      << ",\"duplicated\":" << s.messages_duplicated
      << ",\"delayed\":" << s.messages_delayed
-     << ",\"crashed\":" << s.vertices_crashed << '}';
+     << ",\"crashed\":" << s.vertices_crashed
+     << ",\"churn_events\":" << s.churn_events
+     << ",\"purged\":" << s.messages_purged << '}';
 }
 
 void write_tags_json(std::ostream& os,

@@ -85,14 +85,72 @@ Network::Network(const Graph& g, NetworkOptions options)
       crash_round_[c.vertex] = std::min(crash_round_[c.vertex], c.round);
     }
   }
+  // Topology churn (DESIGN.md §17): the port CSR is built over the *union*
+  // graph — every initial edge plus every edge a kEdgeInsert event can make
+  // live — so inserts never reallocate anything mid-run. Extras are
+  // deduplicated in first-appearance order; extra edge j gets union edge id
+  // g.num_edges() + j.
+  churn_active_ = options_.faults.has_churn();
+  std::vector<std::pair<VertexId, VertexId>> extras;
+  std::vector<int> extra_deg;
+  if (churn_active_) {
+    extra_deg.assign(n_, 0);
+    for (const ChurnEvent& e : options_.faults.churn) {
+      if (e.kind != ChurnKind::kEdgeInsert) continue;
+      const VertexId a = std::min(e.u, e.v);
+      const VertexId b = std::max(e.u, e.v);
+      if (g.has_edge(a, b)) continue;
+      bool seen = false;
+      for (const auto& x : extras) {
+        if (x.first == a && x.second == b) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      extras.emplace_back(a, b);
+      ++extra_deg[a];
+      ++extra_deg[b];
+    }
+  }
   // Directed-port CSR: port p of vertex v is global port port_base_[v] + p,
-  // aligned with Graph::neighbors(v).
+  // aligned with Graph::neighbors(v). A churn plan's insert-only edges take
+  // the ports *after* a vertex's initial ones, so initial edges keep their
+  // local port numbers — the port-stability rule surviving edges rely on.
   port_base_.resize(n_ + 1);
   port_base_[0] = 0;
   for (VertexId v = 0; v < n_; ++v) {
-    port_base_[v + 1] = port_base_[v] + g.degree(v);
+    port_base_[v + 1] =
+        port_base_[v] + g.degree(v) + (churn_active_ ? extra_deg[v] : 0);
   }
   num_dir_ports_ = port_base_[n_];
+
+  // Union adjacency and union incident edge ids (churn only): initial
+  // neighbors first, then the insert-only extras via a per-vertex cursor.
+  std::vector<graph::EdgeId> uinc;
+  if (churn_active_) {
+    churn_adj_.resize(num_dir_ports_);
+    uinc.resize(num_dir_ports_);
+    std::vector<int> cursor(n_, 0);
+    for (VertexId v = 0; v < n_; ++v) {
+      const auto nbrs = g.neighbors(v);
+      const auto eids = g.incident_edges(v);
+      std::copy(nbrs.begin(), nbrs.end(), churn_adj_.begin() + port_base_[v]);
+      std::copy(eids.begin(), eids.end(), uinc.begin() + port_base_[v]);
+      cursor[v] = static_cast<int>(nbrs.size());
+    }
+    for (std::size_t j = 0; j < extras.size(); ++j) {
+      const auto [a, b] = extras[j];
+      const graph::EdgeId ue =
+          static_cast<graph::EdgeId>(g.num_edges() + static_cast<int>(j));
+      churn_adj_[port_base_[a] + cursor[a]] = b;
+      uinc[port_base_[a] + cursor[a]] = ue;
+      ++cursor[a];
+      churn_adj_[port_base_[b] + cursor[b]] = a;
+      uinc[port_base_[b] + cursor[b]] = ue;
+      ++cursor[b];
+    }
+  }
 
   // Pair up the two directed ports of every edge: messages sent on gp are
   // delivered at reverse_slot_[gp]. Each edge is visited exactly twice in
@@ -102,10 +160,14 @@ Network::Network(const Graph& g, NetworkOptions options)
   reverse_slot_.assign(num_dir_ports_, -1);
   port_owner_.resize(num_dir_ports_);
   {
-    std::vector<int> first_port(g.num_edges(), -1);
+    const int m_union = g.num_edges() + static_cast<int>(extras.size());
+    std::vector<int> first_port(m_union, -1);
     for (VertexId v = 0; v < n_; ++v) {
-      const auto eids = g.incident_edges(v);
-      for (int i = 0; i < static_cast<int>(eids.size()); ++i) {
+      const graph::EdgeId* const eids = churn_active_
+                                            ? uinc.data() + port_base_[v]
+                                            : g.incident_edges(v).data();
+      const int deg = port_base_[v + 1] - port_base_[v];
+      for (int i = 0; i < deg; ++i) {
         const int gp = port_base_[v] + i;
         port_owner_[gp] = v;
         int& fp = first_port[eids[i]];
@@ -122,6 +184,16 @@ Network::Network(const Graph& g, NetworkOptions options)
   for (int gp = 0; gp < num_dir_ports_; ++gp) {
     port_peer_[gp] = port_owner_[reverse_slot_[gp]];
   }
+  if (churn_active_) {
+    // Pre-run liveness: initial edges carry traffic, insert-only edges are
+    // dead until their event fires. Every vertex starts present.
+    port_on_init_.resize(num_dir_ports_);
+    for (int gp = 0; gp < num_dir_ports_; ++gp) {
+      port_on_init_[gp] = uinc[gp] < g.num_edges() ? 1 : 0;
+    }
+    port_on_ = port_on_init_;
+    present_.assign(n_, 1);
+  }
 
   contexts_.resize(n_);
   for (VertexId v = 0; v < n_; ++v) {
@@ -130,7 +202,11 @@ Network::Network(const Graph& g, NetworkOptions options)
     ctx.n_ = n_;
     ctx.net_ = this;
     ctx.base_ = port_base_[v];
-    ctx.neighbors_ = g.neighbors(v);
+    ctx.neighbors_ =
+        churn_active_
+            ? std::span<const VertexId>(churn_adj_.data() + port_base_[v],
+                                        port_base_[v + 1] - port_base_[v])
+            : g.neighbors(v);
   }
 
   // The legacy event-stream sink is serial-only: the delivery phase would
@@ -167,7 +243,10 @@ Network::Network(const Graph& g, NetworkOptions options)
       shard_begin_[s] = v;
       const std::int64_t target = total_weight * (s + 1) / num_shards_;
       while (v < n_ && acc < target) {
-        acc += g.degree(v) + 1;
+        // Union degree, not g.degree(v): with a churn plan the two differ
+        // and total_weight above is the union port count — mixing them
+        // would skew the boundaries.
+        acc += (port_base_[v + 1] - port_base_[v]) + 1;
         ++v;
       }
     }
@@ -301,6 +380,43 @@ Network::Network(const Graph& g, NetworkOptions options)
                        });
     }
   }
+  if (churn_active_) {
+    churn_sched_.reserve(options_.faults.churn.size());
+    for (const ChurnEvent& e : options_.faults.churn) {
+      ChurnSched s;
+      s.round = e.round;
+      s.kind = e.kind;
+      s.u = e.u;
+      if (e.kind == ChurnKind::kEdgeInsert ||
+          e.kind == ChurnKind::kEdgeDelete) {
+        // Resolve the endpoints to the edge's two directed ports up front.
+        // Every insertable edge is in the union by construction, so only a
+        // delete of an edge that neither the graph nor any insert event
+        // carries can miss — a plan error; fail here, not mid-run.
+        int gp = -1;
+        for (int p = port_base_[e.u]; p < port_base_[e.u + 1]; ++p) {
+          if (churn_adj_[p] == e.v) {
+            gp = p;
+            break;
+          }
+        }
+        if (gp < 0) {
+          std::ostringstream os;
+          os << "FaultPlan: churn deletes edge {" << e.u << ", " << e.v
+             << "} which is neither in the graph nor inserted by the plan";
+          throw std::invalid_argument(os.str());
+        }
+        s.gp = gp;
+        s.rs = reverse_slot_[gp];
+      }
+      churn_sched_.push_back(s);
+    }
+    // Stable by round: plan order breaks ties, as fault.h documents.
+    std::stable_sort(churn_sched_.begin(), churn_sched_.end(),
+                     [](const ChurnSched& a, const ChurnSched& b) {
+                       return a.round < b.round;
+                     });
+  }
 }
 
 PortInbox Context::inbox(int port) const {
@@ -317,6 +433,12 @@ PortInbox Context::inbox(int port) const {
   return PortInbox(box.data(), static_cast<int>(box.size()));
 }
 
+bool Context::port_live(int port) const {
+  assert(port >= 0 && port < num_ports());
+  const Network& net = *net_;
+  return !net.churn_active_ || net.port_on_[base_ + port] != 0;
+}
+
 void Context::send(int port, Message message) {
   // Validate before touching any network state: a bad port must leave the
   // round's mailboxes exactly as they were.
@@ -328,6 +450,16 @@ void Context::send(int port, Message message) {
   }
   Network& net = *net_;
   const int gp = base_ + port;
+  if (net.churn_active_ && !net.port_on_[gp]) {
+    // Dead edge (deleted or not yet inserted): the send is silently
+    // discarded, like traffic on an unplugged link — no bandwidth or size
+    // enforcement applies to it. Staged per *sender* shard (the shard
+    // computing this vertex is the only writer) and folded into
+    // RunStats::messages_purged at the barrier reduction.
+    ++net.shard_accum_[net.send_bucket_[gp] / net.num_shards_]
+          .churn_sends_dropped;
+    return;
+  }
   const int rs = net.reverse_slot_[gp];
   const int out = 1 - net.in_;
   const int queued = net.arena_mode_
@@ -430,6 +562,14 @@ void Network::retire_inbox_buffer() {
 void Network::reset_for_run() {
   reset_mailboxes();
   prime_worklists();
+  // Rewind the churn schedule and restore construction-time topology:
+  // initial edges live, insert-only edges dead, every vertex present.
+  if (churn_active_) {
+    std::copy(port_on_init_.begin(), port_on_init_.end(), port_on_.begin());
+    std::fill(present_.begin(), present_.end(), char{1});
+    churn_cursor_ = 0;
+    round_churn_events_ = 0;
+  }
   // Staged metrics scratch is cleared here rather than at run end: aborted
   // runs (CongestionError, max_rounds) unwind past metrics_end_run, and
   // this keeps their partial accumulators from leaking into the next run.
@@ -444,6 +584,20 @@ void Network::reset_for_run() {
     cp_run_max_ = 0;
     for (std::vector<VertexId>& touched : cp_touched_) touched.clear();
   }
+}
+
+void Network::set_fault_seed(std::uint64_t seed) {
+  if (!faults_active_) {
+    throw std::invalid_argument(
+        "Network::set_fault_seed: the network has no fault schedule to "
+        "reseed (the FaultPlan is disabled); construct the Network with an "
+        "enabled plan instead");
+  }
+  options_.faults.seed = seed;
+  // Same check construction applies: a plan that mutated underneath the
+  // seed swap fails loudly here instead of corrupting the next run's
+  // schedule.
+  options_.faults.validate(n_);
 }
 
 RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
@@ -482,6 +636,18 @@ RunStats Network::run_serial(
     if (r >= options_.max_rounds) {
       throw std::runtime_error("network: max_rounds exceeded");
     }
+    if (churn_active_) {
+      if (profiler_) {
+        const std::int64_t c0 = ExecutionProfiler::now_ns();
+        apply_churn(r, algorithms, unfinished);
+        profiler_->add_churn_ns(ExecutionProfiler::now_ns() - c0);
+      } else {
+        apply_churn(r, algorithms, unfinished);
+      }
+      if (trace && round_churn_events_ > 0) {
+        trace->on_churn(r, static_cast<int>(round_churn_events_));
+      }
+    }
     const int out = 1 - in_;
     // One round's partial statistics (num_shards_ == 1 here, so shard 0's
     // accumulator is the round's); folded into `stats` and handed to the
@@ -509,12 +675,32 @@ RunStats Network::run_serial(
       racc.stats.messages_dropped = 0;
       racc.stats.messages_duplicated = 0;
       racc.stats.messages_delayed = 0;
+      racc.stats.churn_events = 0;
+      racc.stats.messages_purged = 0;
       racc.injected_delta = 0;
       // Retire this round's read inboxes BEFORE accounting: the fault hook
       // may move delayed messages from `out` into exactly this buffer (it
       // becomes next round's outbox), and those injections must survive.
       retire_inbox_buffer();
       const auto account = [&](int rs) {
+        if (churn_active_ && !port_on_[rs]) {
+          // Dead port: purge instead of delivering (mirrors the purge
+          // branch in deliver_shard; no events are emitted for a port that
+          // delivered nothing).
+          int pcnt;
+          if (arena_mode_) {
+            pcnt = counts_[out][rs];
+            counts_[out][rs] = 0;
+          } else {
+            pcnt = static_cast<int>(boxes_[out][rs].size());
+            boxes_[out][rs].clear();
+            stage_boxes_[out][rs].clear();
+          }
+          racc.injected_delta -= injected_[out][rs];
+          injected_[out][rs] = 0;
+          racc.stats.messages_purged += pcnt;
+          return;
+        }
         if (faults_active_) {
           if (profiler_) {
             // Sub-phase timing is gated on both flags, so fault-free
@@ -576,6 +762,13 @@ RunStats Network::run_serial(
       profiler_->deliver_end(0, fault_ns);
       profiler_->reduce_begin();
     }
+    if (churn_active_) {
+      // Fold the round's churn accounting into the shard stats before the
+      // observers see them: fired events from apply_churn, dead-port sends
+      // staged by the compute phase.
+      racc.stats.churn_events += round_churn_events_;
+      racc.stats.messages_purged += racc.churn_sends_dropped;
+    }
     stats += racc.stats;
     unfinished += racc.unfinished_delta;
     pending_injected_ += racc.injected_delta;
@@ -601,6 +794,7 @@ void Network::compute_shard(
   ShardAccum& acc = shard_accum_[s];
   acc.unfinished_delta = 0;
   acc.stats.vertices_crashed = 0;
+  acc.churn_sends_dropped = 0;
   // Retire this round's crash events first. The schedule is the shard's
   // crash vertices sorted by round (ties in vertex order), so the counting
   // matches the old full-sweep loop exactly — including vertices that were
@@ -627,9 +821,11 @@ void Network::compute_shard(
   std::vector<char>& queued_out = queued_[out];
   for (const VertexId v : wl) {
     queued_in[v] = 0;
-    if (faults_active_ && r >= crash_round_[v]) {
-      // Crash-stop: the vertex never executes again; the event above
-      // already did the bookkeeping.
+    if (faults_active_ &&
+        (r >= crash_round_[v] || (churn_active_ && !present_[v]))) {
+      // Crash-stop (the vertex never executes again; the event above
+      // already did the bookkeeping) or churned out of the network
+      // (apply_churn did the bookkeeping; a later kNodeJoin revives it).
       continue;
     }
     Context& ctx = contexts_[v];
@@ -666,6 +862,8 @@ std::int64_t Network::deliver_shard(int t, int out, std::int64_t r) {
   acc.stats.messages_dropped = 0;
   acc.stats.messages_duplicated = 0;
   acc.stats.messages_delayed = 0;
+  acc.stats.churn_events = 0;
+  acc.stats.messages_purged = 0;
   acc.injected_delta = 0;
   // Retire shard t's ports of the vacated buffer FIRST: this round's
   // inboxes have been read by the compute phase and the buffer becomes
@@ -690,6 +888,27 @@ std::int64_t Network::deliver_shard(int t, int out, std::int64_t r) {
   }
   for (int s = 0; s < num_shards_; ++s) {
     for (const int rs : active_[out][s * num_shards_ + t]) {
+      if (churn_active_ && !port_on_[rs]) {
+        // The edge died under pending traffic: purge fresh sends and
+        // delayed injections alike, lazily, here — the port keeps its
+        // bucket entry at count 0 (the retire loop clears it next round),
+        // so apply_churn never touches the buckets and the zero-alloc
+        // reservation argument is unchanged. The fault pass is skipped:
+        // nothing on a dead port is ever re-injected.
+        int cnt;
+        if (arena_mode_) {
+          cnt = counts_[out][rs];
+          counts_[out][rs] = 0;
+        } else {
+          cnt = static_cast<int>(boxes_[out][rs].size());
+          boxes_[out][rs].clear();
+          stage_boxes_[out][rs].clear();
+        }
+        acc.injected_delta -= injected_[out][rs];
+        injected_[out][rs] = 0;
+        acc.stats.messages_purged += cnt;
+        continue;
+      }
       if (faults_active_) {
         if (profiler_) {
           // Gated on both flags: fault-free profiled runs take no extra
@@ -871,6 +1090,84 @@ void Network::inject_delayed(int buf, int rs, Message&& m, signed char stage) {
   }
 }
 
+void Network::apply_churn(
+    std::int64_t r, std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms,
+    int& unfinished) {
+  // Caller thread, between rounds: after the termination check (events past
+  // the end of a run never fire) and before the member census, so a joined
+  // vertex is counted and dispatched this same round. Everything below
+  // touches preallocated state only — liveness flags, presence flags, the
+  // reserved worklists — never the mailbox buckets: traffic stranded on a
+  // dead port is purged lazily by the next deliver_shard that scans it,
+  // which keeps the zero-alloc bucket discipline intact.
+  round_churn_events_ = 0;
+  while (churn_cursor_ < churn_sched_.size() &&
+         churn_sched_[churn_cursor_].round <= r) {
+    const ChurnSched& e = churn_sched_[churn_cursor_];
+    ++churn_cursor_;
+    ++round_churn_events_;
+    switch (e.kind) {
+      case ChurnKind::kEdgeDelete:
+        port_on_[e.gp] = 0;
+        port_on_[e.rs] = 0;
+        break;
+      case ChurnKind::kEdgeInsert:
+        port_on_[e.gp] = 1;
+        port_on_[e.rs] = 1;
+        break;
+      case ChurnKind::kNodeLeave: {
+        const VertexId u = e.u;
+        if (!present_[u]) break;  // already gone: no-op (still counted)
+        present_[u] = 0;
+        // Like a crash for termination purposes: an absent vertex counts
+        // as finished so the run can still quiesce.
+        if (!finished_[u]) {
+          finished_[u] = 1;
+          --unfinished;
+        }
+        // Leaving takes the incident live edges down with it.
+        for (int p = port_base_[u]; p < port_base_[u + 1]; ++p) {
+          if (port_on_[p]) {
+            port_on_[p] = 0;
+            port_on_[reverse_slot_[p]] = 0;
+          }
+        }
+        break;
+      }
+      case ChurnKind::kNodeJoin: {
+        const VertexId u = e.u;
+        if (present_[u]) break;  // already here: no-op (still counted)
+        present_[u] = 1;
+        // Crash-stop wins over rejoin: a vertex whose crash round has
+        // passed re-enters the topology but never executes again, so it
+        // must stay finished — resurrecting it into the unfinished count
+        // would leave a vertex the compute phase always skips and the run
+        // could never quiesce.
+        if (r >= crash_round_[u]) break;
+        // Re-sync the finished cache with the algorithm (leave forced it to
+        // 1) and re-queue the vertex on its owning shard's worklist so this
+        // round's compute steps it. Edges are NOT restored — the plan
+        // schedules explicit kEdgeInsert events for re-established links.
+        const char f = algorithms[u]->finished() ? 1 : 0;
+        if (f != finished_[u]) {
+          finished_[u] = f;
+          unfinished += f ? -1 : 1;
+        }
+        if (!finished_[u] && !queued_[in_][u]) {
+          const int s =
+              static_cast<int>(std::upper_bound(shard_begin_.begin(),
+                                                shard_begin_.end(), u) -
+                               shard_begin_.begin()) -
+              1;
+          queued_[in_][u] = 1;
+          worklist_[in_][s].push_back(u);
+        }
+        break;
+      }
+    }
+  }
+}
+
 RunStats Network::run_parallel(
     std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
   RunStats stats;
@@ -886,6 +1183,20 @@ RunStats Network::run_parallel(
     }
     if (r >= options_.max_rounds) {
       throw std::runtime_error("network: max_rounds exceeded");
+    }
+    // Churn fires on the caller thread before the member census, so a
+    // joined vertex is counted (and its shard dispatched) this round, and
+    // the applied liveness flags are visible to every worker via the
+    // dispatch barrier. This is the only churn serialization point — the
+    // phases themselves just read the flags.
+    if (churn_active_) {
+      if (profiler_) {
+        const std::int64_t c0 = ExecutionProfiler::now_ns();
+        apply_churn(r, algorithms, unfinished);
+        profiler_->add_churn_ns(ExecutionProfiler::now_ns() - c0);
+      } else {
+        apply_churn(r, algorithms, unfinished);
+      }
     }
     const int out = 1 - in_;
     // Member census (caller, O(num_shards_)): a shard participates when it
@@ -923,6 +1234,7 @@ RunStats Network::run_parallel(
           ShardAccum& acc = shard_accum_[s];
           acc.unfinished_delta = 0;
           acc.stats.vertices_crashed = 0;
+          acc.churn_sends_dropped = 0;
         }
       }
       if (profiler_) {
@@ -958,6 +1270,7 @@ RunStats Network::run_parallel(
           ShardAccum& acc = shard_accum_[s];
           acc.unfinished_delta = 0;
           acc.stats.vertices_crashed = 0;
+          acc.churn_sends_dropped = 0;
         }
       }
       round_member_count_ = member_count;
@@ -995,7 +1308,9 @@ RunStats Network::run_parallel(
       round += acc.stats;
       unfinished += acc.unfinished_delta;
       pending_injected_ += acc.injected_delta;
+      round.messages_purged += acc.churn_sends_dropped;
     }
+    if (churn_active_) round.churn_events += round_churn_events_;
     stats += round;
     if (metrics_) {
       metrics_->record_round(round);

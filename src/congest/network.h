@@ -143,6 +143,11 @@ struct RunStats {
   std::int64_t messages_duplicated = 0;  // extra copies delivered
   std::int64_t messages_delayed = 0;     // messages chosen for delay
   std::int64_t vertices_crashed = 0;     // crash events that fired
+  // Topology-churn outcomes (all zero when FaultPlan::churn is empty).
+  std::int64_t churn_events = 0;    // scheduled topology events that fired
+  // Messages discarded by churn: sends attempted on a dead edge plus
+  // pending (delayed or undelivered) messages on a port whose edge died.
+  std::int64_t messages_purged = 0;
   // Wall-clock duration of the run (steady_clock). The only
   // non-deterministic field: everything above is bit-identical across
   // thread counts, this one is a measurement. MetricsRegistry snapshots
@@ -165,6 +170,8 @@ struct RunStats {
     messages_duplicated += other.messages_duplicated;
     messages_delayed += other.messages_delayed;
     vertices_crashed += other.vertices_crashed;
+    churn_events += other.churn_events;
+    messages_purged += other.messages_purged;
     duration_ns += other.duration_ns;
     return *this;
   }
@@ -203,6 +210,14 @@ class Context {
   // Messages delivered on `port` at the start of this round, in the order
   // the neighbor sent them (per-port FIFO).
   PortInbox inbox(int port) const;
+
+  // Whether the edge behind `port` currently carries traffic. Always true
+  // on a churn-free network. Under a churn plan (FaultPlan::churn) the
+  // port table covers every edge the plan can ever make live, so ports of
+  // deleted or not-yet-inserted edges exist but are dead: sends on them
+  // are silently discarded (counted in RunStats::messages_purged) and
+  // nothing arrives on them.
+  bool port_live(int port) const;
 
   // Queues a message on `port`; delivered next round. Throws
   // CongestionError if the per-edge budget or message size is exceeded,
@@ -262,12 +277,15 @@ class Network {
 
   // Replaces the fault-schedule seed for subsequent runs. Fault decisions
   // are a pure stateless function of (seed, round, port, slot) and the
-  // seed participates in no preallocation (slot capacities and the crash
-  // schedule depend only on the plan's probabilities and crash list), so
-  // swapping the seed between runs on one Network is exactly equivalent to
-  // constructing a fresh Network with the new seed. No-op in effect when
-  // the plan is disabled.
-  void set_fault_seed(std::uint64_t seed) { options_.faults.seed = seed; }
+  // seed participates in no preallocation (slot capacities, the crash
+  // schedule and the churn schedule depend only on the plan's
+  // probabilities and event lists), so swapping the seed between runs on
+  // one Network is exactly equivalent to constructing a fresh Network with
+  // the new seed. The plan is re-validated on the way through — the same
+  // check construction applies — and a disabled plan (no fault schedule to
+  // reseed) throws std::invalid_argument instead of silently recording a
+  // seed that no run would ever consult.
+  void set_fault_seed(std::uint64_t seed);
 
   const graph::Graph& graph() const { return g_; }
 
@@ -307,6 +325,14 @@ class Network {
   // picking up an orphan otherwise). Returns the fault-pass subtotal in
   // nanoseconds (0 unless both faults and the profiler are active).
   std::int64_t deliver_shard(int t, int out, std::int64_t r);
+  // Applies every churn event scheduled at or before round r that has not
+  // fired yet (caller thread, between rounds — before the member census,
+  // so a joined vertex is counted and dispatched this round). Updates the
+  // run's unfinished counter for node leave/join and leaves the number of
+  // events fired in round_churn_events_. Touches only preallocated state.
+  void apply_churn(std::int64_t r,
+                   std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms,
+                   int& unfinished);
 
   // Per-shard phase outputs, reduced on the caller thread at the round
   // barrier via RunStats::operator+=; padded so workers never share a
@@ -319,6 +345,11 @@ class Network {
     // Net change in messages held back for later delivery: +1 per fresh
     // delay, -1 per delayed message that finally reached its receiver.
     std::int64_t injected_delta = 0;
+    // Sends attempted on a dead port this round (churn only). Staged
+    // separately from stats.messages_purged because the compute phase
+    // writes it while deliver_shard resets the stats block; the barrier
+    // reduction folds it in.
+    std::int64_t churn_sends_dropped = 0;
   };
 
   // Delivery-phase fault hook (DESIGN.md §12): applies options_.faults to
@@ -418,6 +449,41 @@ class Network {
   };
   std::vector<std::vector<CrashSched>> crash_sched_;
   std::vector<std::size_t> crash_cursor_;
+
+  // Topology churn (DESIGN.md §17). All empty/false when
+  // options_.faults.has_churn() is false — the hot paths check the cached
+  // flag first. With churn, the port CSR above is built over the *union*
+  // graph (every initial edge plus every edge a kEdgeInsert can make
+  // live): capacity for the plan's maximum degree growth is preallocated
+  // here, initial edges keep their g.neighbors(v)-aligned local ports, and
+  // insert-only edges take the ports after them — so port numbering is
+  // stable for surviving edges across any event sequence.
+  bool churn_active_ = false;
+  // Union-graph adjacency backing the contexts (the Graph's own CSR no
+  // longer matches the port table when inserts exist).
+  std::vector<graph::VertexId> churn_adj_;
+  // Per-directed-port liveness; port_on_init_ is the pre-run state
+  // (initial edges on, insert-only edges off) that reset_for_run restores.
+  std::vector<char> port_on_;
+  std::vector<char> port_on_init_;
+  // Per-vertex presence (node leave/join); compute skips absent vertices
+  // exactly like crashed ones.
+  std::vector<char> present_;
+  // The plan's events, endpoints pre-resolved to directed ports, sorted by
+  // round (stable — plan order breaks ties). churn_cursor_ is advanced by
+  // apply_churn on the caller thread alone.
+  struct ChurnSched {
+    std::int64_t round = 0;
+    ChurnKind kind = ChurnKind::kEdgeDelete;
+    graph::VertexId u = graph::kInvalidVertex;  // node events
+    int gp = -1;  // edge events: the two directed ports
+    int rs = -1;
+  };
+  std::vector<ChurnSched> churn_sched_;
+  std::size_t churn_cursor_ = 0;
+  // Events fired by this round's apply_churn (caller-written, folded into
+  // the round stats at the barrier reduction).
+  std::int64_t round_churn_events_ = 0;
 
   // Fault injection (DESIGN.md §12). All empty/false when
   // options_.faults.enabled() is false — the hot paths below check the

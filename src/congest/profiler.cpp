@@ -66,6 +66,7 @@ const char* profile_phase_name(int phase) {
     case kProfileReduce: return "reduce";
     case kProfileBarrier: return "barrier";
     case kProfileIdle: return "idle";
+    case kProfileChurn: return "churn";
     default: return "unknown";
   }
 }
@@ -427,6 +428,11 @@ std::string format_profile_table(const ExecutionProfiler::Summary& s) {
                 static_cast<long long>(s.runs),
                 static_cast<long long>(s.rounds), fmt_ms(s.wall_ns).c_str());
   os << line;
+  if (s.total.phase_ns[kProfileChurn] > 0) {
+    std::snprintf(line, sizeof line, "churn (topology events) %s ms\n",
+                  fmt_ms(s.total.phase_ns[kProfileChurn]).c_str());
+    os << line;
+  }
   std::snprintf(
       line, sizeof line,
       "barrier-wait fraction %.3f  load imbalance %.3f  serial fraction "

@@ -55,6 +55,7 @@ enum ProfilePhase : int {
   kProfileReduce,       // caller-side barrier reduction (stats + metrics)
   kProfileBarrier,      // waiting at the phase barrier / shard handoff
   kProfileIdle,         // rounds the shard sat out (sparse fast path)
+  kProfileChurn,        // applying scheduled topology events (caller thread)
   kProfilePhaseCount,
 };
 const char* profile_phase_name(int phase);
@@ -155,6 +156,15 @@ class ExecutionProfiler {
   // advances the stamp so the wait accounting stays coherent when the
   // shard next runs.
   void mark_idle_others();
+  // Caller thread, between rounds: accrues the measured cost of one
+  // apply_churn pass (scheduled topology events, DESIGN.md §17) on the
+  // caller's lane. The span sits inside what lane 0 otherwise classifies
+  // as barrier/idle time, so totals may overlap those phases slightly —
+  // acceptable for a between-rounds bookkeeping pass that is tiny next to
+  // the phases proper. Inline and allocation-free.
+  void add_churn_ns(std::int64_t ns) {
+    if (!lanes_.empty()) lanes_[0].totals.phase_ns[kProfileChurn] += ns;
+  }
   // Caller thread, bracketing the barrier reduction (per-shard stats fold +
   // metrics record/apply). Attributed to the caller's lane (shard 0).
   void reduce_begin();

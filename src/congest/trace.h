@@ -70,6 +70,12 @@ class TraceSink {
     (void)round, (void)tag, (void)words;
   }
 
+  // `events` scheduled topology events (FaultPlan::churn) fired before
+  // round `round`'s compute phase. Only called when at least one fired.
+  virtual void on_churn(std::int64_t round, int events) {
+    (void)round, (void)events;
+  }
+
   // A congestion-limit violation is about to be thrown.
   virtual void on_violation(const CongestionError& err) { (void)err; }
 

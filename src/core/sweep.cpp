@@ -241,7 +241,7 @@ bool known_algorithm(const std::string& algorithm) {
 // --- Run building blocks ----------------------------------------------------
 
 NetworkOptions make_net_options(const SweepSpec& spec, const SweepCell& cell,
-                                MetricsRegistry* metrics,
+                                const Graph& g, MetricsRegistry* metrics,
                                 ThreadPool* shared_pool) {
   NetworkOptions o;
   o.bandwidth_tokens = spec.bandwidth_tokens;
@@ -258,6 +258,13 @@ NetworkOptions make_net_options(const SweepSpec& spec, const SweepCell& cell,
     o.faults.duplicate_probability = cell.fault_permille / 2000.0;
     o.faults.delay_probability = cell.fault_permille / 1000.0;
     o.faults.max_delay_rounds = 2;
+  }
+  if (cell.churn_permille > 0) {
+    // Churn is part of the Network's *shape* (it widens the port CSR for
+    // the plan's inserts), so the schedule must not vary with run_seed —
+    // it derives from (topo_seed, churn_permille) only, and run_prepared's
+    // set_fault_seed swap leaves it untouched.
+    o.faults.churn = make_churn_plan(g, cell.topo_seed, cell.churn_permille);
   }
   return o;
 }
@@ -317,6 +324,7 @@ void append_report_line(std::ostream& os, const SweepCell& cell, int n, int m,
       {"algorithm", cell.algorithm},
       {"threads", std::to_string(cell.threads)},
       {"fault_permille", std::to_string(cell.fault_permille)},
+      {"churn_permille", std::to_string(cell.churn_permille)},
       {"result", std::to_string(result)},
   };
   congest::write_run_report(os, metrics, ctx);
@@ -329,7 +337,7 @@ SweepRunRecord run_fresh_on(const Graph& g, const SweepSpec& spec,
   std::vector<std::unique_ptr<VertexAlgorithm>> algos;
   std::vector<SweepAlgo*> typed;
   make_algos(spec, cell, g, algos, typed);
-  Network net(g, make_net_options(spec, cell, metrics, nullptr));
+  Network net(g, make_net_options(spec, cell, g, metrics, nullptr));
   return run_prepared(net, cell, algos, typed, metrics);
 }
 
@@ -411,6 +419,52 @@ void write_quantiles(std::ostream& os, const char* name,
 
 }  // namespace
 
+// --- Churn schedule ---------------------------------------------------------
+
+std::vector<congest::ChurnEvent> make_churn_plan(const Graph& g,
+                                                 std::uint64_t topo_seed,
+                                                 int churn_permille) {
+  std::vector<congest::ChurnEvent> plan;
+  if (churn_permille <= 0 || g.num_edges() == 0) return plan;
+  const std::int64_t m = g.num_edges();
+  const std::int64_t k =
+      std::max<std::int64_t>(1, m * churn_permille / 1000);
+  plan.reserve(static_cast<std::size_t>(2 * k));
+  const auto es = g.edges();
+  // Each item picks an existing edge through splitmix64 (duplicates are
+  // harmless: deletes of dead ports and inserts of live ones are counted
+  // no-ops). The stream keys off (topo_seed, churn_permille, i) only.
+  const std::uint64_t stream = graph::splitmix64(
+      topo_seed ^ (0xC2B2AE3D27D4EB4FULL *
+                   static_cast<std::uint64_t>(churn_permille)));
+  for (std::int64_t i = 0; i < k; ++i) {
+    const std::uint64_t h =
+        graph::splitmix64(stream ^ (static_cast<std::uint64_t>(i) + 1));
+    const graph::Edge e =
+        es[static_cast<std::size_t>(h % static_cast<std::uint64_t>(m))];
+    const std::int64_t r = 1 + (i % 8);
+    if (i % 8 == 7) {
+      // Every 8th item exercises node churn: one endpoint leaves, then
+      // rejoins three rounds later (its edges stay down — kNodeJoin does
+      // not restore links; see fault.h).
+      plan.push_back({congest::ChurnKind::kNodeLeave, r, e.u,
+                      graph::kInvalidVertex});
+      plan.push_back({congest::ChurnKind::kNodeJoin, r + 3, e.u,
+                      graph::kInvalidVertex});
+    } else {
+      plan.push_back({congest::ChurnKind::kEdgeDelete, r, e.u, e.v});
+      plan.push_back({congest::ChurnKind::kEdgeInsert, r + 4, e.u, e.v});
+    }
+  }
+  // Sorted by round so list order == fire order: host-side replays
+  // (expander::apply_churn_to_graph walks the list in order) see exactly
+  // the interleaving the simulator applies.
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const congest::ChurnEvent& a,
+                      const congest::ChurnEvent& b) { return a.round < b.round; });
+  return plan;
+}
+
 // --- Spec -------------------------------------------------------------------
 
 void SweepSpec::validate() const {
@@ -424,6 +478,7 @@ void SweepSpec::validate() const {
   require(!algorithms.empty(), "'algorithms' must not be empty");
   require(!threads.empty(), "'threads' must not be empty");
   require(!fault_permille.empty(), "'fault_permille' must not be empty");
+  require(!churn_permille.empty(), "'churn_permille' must not be empty");
   for (const std::string& f : families) {
     if (!known_family(f)) {
       throw std::invalid_argument("sweep spec: unknown family '" + f + "'");
@@ -443,6 +498,9 @@ void SweepSpec::validate() const {
   for (const int f : fault_permille) {
     require(f >= 0 && f <= 400, "'fault_permille' entries must be in [0, 400]");
   }
+  for (const int c : churn_permille) {
+    require(c >= 0 && c <= 400, "'churn_permille' entries must be in [0, 400]");
+  }
   require(pingpong_rounds >= 1, "'pingpong_rounds' must be >= 1");
   require(bandwidth_tokens >= 1, "'bandwidth_tokens' must be >= 1");
   require(sparse_serial_threshold >= 0,
@@ -455,7 +513,8 @@ std::int64_t SweepSpec::num_cells() const {
   std::int64_t cells = 1;
   for (const std::size_t axis :
        {families.size(), sizes.size(), topo_seeds.size(), algorithms.size(),
-        threads.size(), fault_permille.size(), run_seeds.size()}) {
+        threads.size(), fault_permille.size(), churn_permille.size(),
+        run_seeds.size()}) {
     cells *= static_cast<std::int64_t>(axis);
     if (cells > kMaxCells) return kMaxCells + 1;  // saturate, no overflow
   }
@@ -483,6 +542,8 @@ SweepSpec parse_sweep_spec(std::string_view json) {
       spec.threads = json_int_list(value, key);
     } else if (key == "fault_permille") {
       spec.fault_permille = json_int_list(value, key);
+    } else if (key == "churn_permille") {
+      spec.churn_permille = json_int_list(value, key);
     } else if (key == "pingpong_rounds") {
       spec.pingpong_rounds = static_cast<int>(json_int(value, key));
     } else if (key == "bandwidth_tokens") {
@@ -515,17 +576,20 @@ void expand_sweep_into(const SweepSpec& spec, std::vector<SweepCell>& cells) {
         for (const std::string& algorithm : spec.algorithms) {
           for (const int threads : spec.threads) {
             for (const int fault : spec.fault_permille) {
-              for (const std::uint64_t run_seed : spec.run_seeds) {
-                SweepCell c;
-                c.index = index++;
-                c.family = family;
-                c.n = n;
-                c.topo_seed = topo_seed;
-                c.run_seed = run_seed;
-                c.algorithm = algorithm;
-                c.threads = threads;
-                c.fault_permille = fault;
-                cells.push_back(std::move(c));
+              for (const int churn : spec.churn_permille) {
+                for (const std::uint64_t run_seed : spec.run_seeds) {
+                  SweepCell c;
+                  c.index = index++;
+                  c.family = family;
+                  c.n = n;
+                  c.topo_seed = topo_seed;
+                  c.run_seed = run_seed;
+                  c.algorithm = algorithm;
+                  c.threads = threads;
+                  c.fault_permille = fault;
+                  c.churn_permille = churn;
+                  cells.push_back(std::move(c));
+                }
               }
             }
           }
@@ -585,7 +649,9 @@ std::string SweepResult::aggregate_json() const {
      << ",\"dropped\":" << totals.messages_dropped
      << ",\"duplicated\":" << totals.messages_duplicated
      << ",\"delayed\":" << totals.messages_delayed
-     << ",\"crashed\":" << totals.vertices_crashed << "},\"quantiles\":{";
+     << ",\"crashed\":" << totals.vertices_crashed
+     << ",\"churn_events\":" << totals.churn_events
+     << ",\"purged\":" << totals.messages_purged << "},\"quantiles\":{";
   if (!records.empty()) {
     write_quantiles(os, "rounds", rounds);
     os << ',';
@@ -632,7 +698,7 @@ struct SweepEngine::Impl {
   // the same key are interchangeable up to (run_seed-driven) algorithm and
   // fault state, which run_prepared resets per run.
   using NetKey = std::tuple<std::string, int, std::uint64_t,  // topology
-                            std::string, int, int,  // algorithm/threads/fault
+                            std::string, int, int, int,  // algo/threads/fault/churn
                             int, int, int, std::int64_t,  // spec constants
                             bool>;                          // reporting
 
@@ -686,9 +752,9 @@ struct SweepEngine::Impl {
     NetKey nk{cell.family,          cell.n,
               cell.topo_seed,       cell.algorithm,
               cell.threads,         cell.fault_permille,
-              spec.pingpong_rounds, spec.bandwidth_tokens,
-              spec.sparse_serial_threshold, spec.max_rounds,
-              reporting};
+              cell.churn_permille,  spec.pingpong_rounds,
+              spec.bandwidth_tokens, spec.sparse_serial_threshold,
+              spec.max_rounds,      reporting};
     std::unique_ptr<Entry>& eslot = net_cache[nk];
     if (!eslot) {
       eslot = std::make_unique<Entry>();
@@ -697,7 +763,8 @@ struct SweepEngine::Impl {
       ThreadPool* shared =
           cell.threads > 1 ? &pool_for(cell.threads) : nullptr;
       eslot->net = std::make_unique<Network>(
-          *gslot, make_net_options(spec, cell, eslot->metrics.get(), shared));
+          *gslot,
+          make_net_options(spec, cell, *gslot, eslot->metrics.get(), shared));
       make_algos(spec, cell, *gslot, eslot->algos, eslot->typed);
       ++result.networks_built;
     }

@@ -2,7 +2,8 @@
 // declarative grid (DESIGN.md §16).
 //
 // A regression grid — topology family × size × topology seed × run seed ×
-// algorithm × thread count × fault plan — is mostly *redundant* work for
+// algorithm × thread count × fault plan × churn plan — is mostly
+// *redundant* work for
 // the simulator: grid cells that share a topology rebuild the same CSR,
 // and cells that additionally share an algorithm/thread/fault shape
 // rebuild the same Network arenas. For small-n cells construction costs
@@ -67,6 +68,13 @@ struct SweepSpec {
   // k > 0 turns on the mixed fault plan: drop k/1000, duplicate k/2000,
   // delay k/1000 with max_delay_rounds = 2 (the bench_network shape).
   std::vector<int> fault_permille = {0};
+  // c > 0 turns on a deterministic topology-churn schedule (FaultPlan
+  // ::churn) of ~c per mille of the graph's edges: each picked edge is
+  // deleted early and re-inserted a few rounds later, and every 8th pick
+  // becomes a node leave/join pair instead (see make_churn_plan). The
+  // schedule derives from (topo_seed, c) — NOT run_seed — so every run on
+  // a cached Network shares one schedule and warm reuse stays valid.
+  std::vector<int> churn_permille = {0};
 
   int pingpong_rounds = 16;
   int bandwidth_tokens = 2;
@@ -95,7 +103,20 @@ struct SweepCell {
   std::string algorithm;
   int threads = 1;
   int fault_permille = 0;
+  int churn_permille = 0;
 };
+
+// The sweep's churn schedule for (g, topo_seed, churn_permille): an empty
+// plan at 0, otherwise k = max(1, m * c / 1000) splitmix64-picked items.
+// Item i deletes its edge at round 1 + (i % 8) and re-inserts it four
+// rounds later; every 8th item is instead a node leave (same round) /
+// join (three rounds later) pair for one of the edge's endpoints. Pure
+// function of its arguments, so warm and cold runs of a cell construct
+// bit-identical FaultPlan::churn vectors. Exposed for tests and for
+// examples/churn_experiment, which replays the same schedule host-side.
+std::vector<congest::ChurnEvent> make_churn_plan(const graph::Graph& g,
+                                                 std::uint64_t topo_seed,
+                                                 int churn_permille);
 
 // Expands the spec into its cell list (validates first). The order is the
 // determinism anchor: records, the aggregate reduction and the JSONL

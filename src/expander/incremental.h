@@ -1,0 +1,81 @@
+// Self-healing incremental re-decomposition under topology churn
+// (DESIGN.md §17).
+//
+// The decomposition framework's whole point is locality: a churn event —
+// an edge appearing or vanishing, a node leaving or rejoining — perturbs
+// only the pieces it touches. Chang–Saranurak builds its decomposition
+// from restartable per-piece sweep cuts, and the distributed construction
+// here (distributed_decomposition.cpp) is a chain of exactly such
+// per-piece refinements, so re-running *only the dirty pieces* is the
+// natural repair:
+//
+//   1. dirty clusters = the old clusters of every event endpoint;
+//   2. dirty vertices = the members of the dirty clusters;
+//   3. run the distributed decomposition on the induced subgraph of the
+//      *new* graph over the dirty vertices (its measured CONGEST rounds
+//      are the repair cost);
+//   4. splice: clean clusters keep their membership (relabeled densely),
+//      the sub-run's clusters follow, and the inter-cluster edge set is
+//      recomputed against the new graph.
+//
+// The repair is best-effort on the global ε budget: edges between a clean
+// and a dirty cluster are re-counted but clean pieces are never re-cut, so
+// the inter-cluster fraction can drift above ε as churn accumulates — that
+// drift, versus the (much larger) round cost of a full re-decomposition,
+// is precisely what EXPERIMENTS.md E19 measures. When the dirty region
+// grows past a configurable fraction of the graph, the repair falls back
+// to a full re-decomposition (the drift bound resets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/congest/fault.h"
+#include "src/expander/distributed_decomposition.h"
+#include "src/graph/graph.h"
+
+namespace ecd::expander {
+
+struct IncrementalRefreshOptions {
+  // Forwarded to the per-piece (or fallback full) distributed runs.
+  DistributedDecompositionOptions decomposition;
+  // Fall back to a full re-decomposition when the dirty vertices exceed
+  // this fraction of the graph: past that point the "incremental" run is
+  // most of a full one anyway, and the fallback restores the ε contract.
+  double full_rebuild_fraction = 0.5;
+};
+
+struct IncrementalRefreshResult {
+  // Decomposition over the *new* graph (dense labels, recomputed
+  // inter-cluster edge set).
+  ExpanderDecomposition decomposition;
+  // Measured CONGEST rounds of the repair (the sub-run on the dirty
+  // region, or the full run on fallback). 0 when nothing was dirty.
+  std::int64_t rounds = 0;
+  int dirty_clusters = 0;
+  int dirty_vertices = 0;
+  bool fell_back_to_full = false;
+};
+
+// Mirrors a churn schedule onto a Graph: kEdgeDelete removes the edge,
+// kEdgeInsert adds it, kNodeLeave removes every incident edge of the
+// (still-present) vertex, kNodeJoin adds nothing (the Network semantics:
+// re-established links need explicit inserts). Events apply in list order;
+// deletes of absent edges and inserts of present ones are no-ops. The
+// vertex set is unchanged. This is the graph the simulator's surviving
+// live edges span after the schedule fires.
+graph::Graph apply_churn_to_graph(
+    const graph::Graph& g, std::span<const congest::ChurnEvent> events);
+
+// Repairs `old_d` (a decomposition of the graph the events were applied
+// to) into a decomposition of `new_graph`, re-running only the pieces the
+// events touched. `events` are the fired churn events; their endpoints
+// select the dirty clusters. Throws std::invalid_argument if old_d does
+// not label exactly new_graph.num_vertices() vertices.
+IncrementalRefreshResult refresh_decomposition(
+    const ExpanderDecomposition& old_d, const graph::Graph& new_graph,
+    std::span<const congest::ChurnEvent> events, double eps,
+    const IncrementalRefreshOptions& options = {});
+
+}  // namespace ecd::expander

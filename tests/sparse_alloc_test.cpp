@@ -19,6 +19,7 @@
 
 #include "src/congest/network.h"
 #include "src/congest/profiler.h"
+#include "src/core/sweep.h"
 #include "src/graph/generators.h"
 
 // --- Counting allocation hooks ----------------------------------------------
@@ -143,6 +144,34 @@ TEST(SparseAlloc, SteadyStateStaysOffTheHeapAcrossBothRoundPaths) {
             << "lane " << shard << " never sat out a fallback round";
       }
     }
+  }
+}
+
+// A churn plan widens the port CSR at construction (preallocated capacity
+// for the schedule's inserts) and the round loop applies events, drops
+// dead-port sends, and purges stranded traffic — all of which must stay
+// inside the constructor's storage. The reseed is part of the warm-run
+// protocol the sweep engine uses, so it is audited too.
+TEST(SparseAlloc, ChurnRoundsStayOffTheHeap) {
+  for (const int threads : {1, 4}) {
+    const Graph g = graph::grid(32, 32);
+    NetworkOptions opt;
+    opt.num_threads = threads;
+    opt.faults.seed = 1;
+    opt.faults.drop_probability = 0.02;  // message faults alongside churn
+    opt.faults.churn =
+        ecd::core::make_churn_plan(g, /*topo_seed=*/3, /*churn_permille=*/80);
+    Network net(g, opt);
+    auto warm = make_flood(g);
+    const RunStats warm_stats = net.run(warm);
+    ASSERT_GT(warm_stats.churn_events, 0);
+    auto audit = make_flood(g);
+    const std::int64_t before = allocation_count();
+    net.set_fault_seed(2);
+    const RunStats stats = net.run(audit);
+    const std::int64_t delta = allocation_count() - before;
+    EXPECT_EQ(delta, 0) << threads << " threads";
+    EXPECT_EQ(stats.churn_events, warm_stats.churn_events);
   }
 }
 

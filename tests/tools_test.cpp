@@ -56,6 +56,35 @@ TEST(JsonMin, RejectsMalformedInput) {
   EXPECT_THROW(parse("\"bad \\x escape\""), std::runtime_error);
 }
 
+TEST(JsonMin, DecodesBmpUnicodeEscapes) {
+  EXPECT_EQ(parse(R"("\u0041\u007A")").string, "Az");   // 1-byte UTF-8
+  EXPECT_EQ(parse(R"("\u00e9")").string, "\xC3\xA9");      // 2-byte (U+00E9)
+  EXPECT_EQ(parse(R"("\u20AC")").string, "\xE2\x82\xAC");  // 3-byte (U+20AC)
+  EXPECT_EQ(parse(R"("\u0800")").string, "\xE0\xA0\x80");  // 3-byte floor
+  EXPECT_EQ(parse(R"("\u00E9")").string, "\xC3\xA9");      // hex case-blind
+  // Escapes compose with surrounding literal text and other escapes.
+  EXPECT_EQ(parse(R"("x\u0041\ny")").string, "xA\ny");
+  EXPECT_EQ(parse(R"({"k\u00fcche": 1})").at("k\xC3\xBC"
+                                                "che").number,
+            1.0);
+}
+
+TEST(JsonMin, SurrogateAndMalformedUnicodeEscapesThrow) {
+  // Astral-plane pairs and lone halves are out of scope — the error must
+  // say so instead of emitting ill-formed UTF-8.
+  try {
+    parse(R"("\uD83D\uDE00")");  // an emoji, as JSON encodes it
+    FAIL() << "surrogate pair did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("surrogate"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse(R"("\uDC00")"), std::runtime_error);  // lone low half
+  EXPECT_THROW(parse(R"("\u12")"), std::runtime_error);    // truncated
+  EXPECT_THROW(parse(R"("\u12G4")"), std::runtime_error);  // bad hex digit
+  EXPECT_THROW(parse(R"("\u")"), std::runtime_error);
+}
+
 TEST(JsonMin, ParsesRealisticBenchSnapshot) {
   const Value doc = parse(
       R"({"schema":"ecd-bench-v1","suite":"network","rows":[)"
@@ -244,6 +273,40 @@ TEST(BenchCompare, SpeedupColumnSkipsRowsWithoutSerialSibling) {
        {"BM_F/n:4096/threads:1/metrics:0", R"("rounds_per_sec":800)"},
        {"BM_G/n:1024", R"("rounds_per_sec":500)"}}));
   const CompareResult r = compare_bench_snapshots(doc, doc);
+  EXPECT_TRUE(r.ok);
+  for (const CounterDelta& d : r.deltas) {
+    EXPECT_EQ(d.counter.find("_speedup_x"), std::string::npos) << d.counter;
+  }
+}
+
+TEST(BenchCompare, SpeedupColumnSkipsSiblingMissingTheCounter) {
+  // The threads:1 sibling row exists but tracks different counters (e.g. a
+  // serial-only diagnostic): no ratio can be formed, so no speedup delta —
+  // and certainly no crash or NaN in the report.
+  const Value doc = parse(snapshot(
+      {{"BM_F/n:1024/threads:1/metrics:0", R"("serial_only_stat":7)"},
+       {"BM_F/n:1024/threads:4/metrics:0", R"("rounds_per_sec":3000)"}}));
+  const CompareResult r = compare_bench_snapshots(doc, doc);
+  EXPECT_TRUE(r.ok);
+  for (const CounterDelta& d : r.deltas) {
+    EXPECT_EQ(d.counter.find("_speedup_x"), std::string::npos) << d.counter;
+  }
+}
+
+TEST(BenchCompare, SpeedupColumnSkipsZeroOrNegativeSerialSibling) {
+  // A zero (or garbage-negative) serial measurement would make the ratio
+  // infinite or meaningless; the column is dropped rather than reported.
+  // The speedup column reads the *current* snapshot only, so the BM_G rows
+  // stay out of the baseline to keep the throughput gate out of the picture.
+  const Value base = parse(snapshot(
+      {{"BM_F/n:1024/threads:1/metrics:0", R"("rounds_per_sec":0)"},
+       {"BM_F/n:1024/threads:4/metrics:0", R"("rounds_per_sec":3000)"}}));
+  const Value cur = parse(snapshot(
+      {{"BM_F/n:1024/threads:1/metrics:0", R"("rounds_per_sec":0)"},
+       {"BM_F/n:1024/threads:4/metrics:0", R"("rounds_per_sec":3000)"},
+       {"BM_G/n:64/threads:1/metrics:0", R"("rounds_per_sec":-5)"},
+       {"BM_G/n:64/threads:4/metrics:0", R"("rounds_per_sec":200)"}}));
+  const CompareResult r = compare_bench_snapshots(base, cur);
   EXPECT_TRUE(r.ok);
   for (const CounterDelta& d : r.deltas) {
     EXPECT_EQ(d.counter.find("_speedup_x"), std::string::npos) << d.counter;

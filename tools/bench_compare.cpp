@@ -190,7 +190,12 @@ CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
       for (const auto& [cname, cur_value] : row.counters) {
         if (!ends_with(cname, "_per_sec")) continue;
         const auto bit = sit->second->counters.find(cname);
-        if (bit == sit->second->counters.end() || bit->second <= 0.0) continue;
+        // Skip (not divide) when the sibling lacks the counter or its value
+        // is zero, negative or NaN — !(x > 0) is the NaN-safe form of the
+        // guard; a ratio against any of those is noise, not a speedup.
+        if (bit == sit->second->counters.end() || !(bit->second > 0.0)) {
+          continue;
+        }
         result.deltas.push_back({name, cname + "_speedup_x", false, false, 0.0,
                                  cur_value / bit->second});
       }

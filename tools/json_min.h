@@ -5,9 +5,11 @@
 // the library emits instead of pattern-matching substrings — without adding
 // a third-party dependency the container may not have. Scope is exactly
 // what those consumers need: the full JSON value grammar, objects kept in
-// insertion order with O(n) find(), numbers as double, no surrogate-pair
-// decoding (\uXXXX escapes keep their literal text). Errors throw
-// std::runtime_error with a byte offset.
+// insertion order with O(n) find(), numbers as double, \uXXXX escapes
+// decoded to UTF-8 for the Basic Multilingual Plane (surrogate halves —
+// U+D800..U+DFFF, i.e. astral-plane pairs — throw a clear error rather
+// than emitting ill-formed UTF-8). Errors throw std::runtime_error with a
+// byte offset.
 #pragma once
 
 #include <cctype>
@@ -200,15 +202,39 @@ class Parser {
         case 't': out.push_back('\t'); break;
         case 'u': {
           if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
           for (int i = 0; i < 4; ++i) {
-            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+            const char h = text_[pos_ + i];
+            unsigned nibble;
+            if (h >= '0' && h <= '9') {
+              nibble = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              nibble = static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              nibble = static_cast<unsigned>(h - 'A') + 10;
+            } else {
               fail("bad \\u escape");
             }
+            cp = (cp << 4) | nibble;
           }
-          // Kept verbatim — no consumer of this parser emits non-ASCII.
-          out += "\\u";
-          out += text_.substr(pos_, 4);
           pos_ += 4;
+          // BMP code points decode to 1–3 UTF-8 bytes. Surrogate halves
+          // would need pair reassembly into an astral code point; no
+          // producer this parser reads emits them, so reject loudly
+          // instead of emitting ill-formed UTF-8.
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            fail("\\u surrogate pair escapes are not supported");
+          }
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
           break;
         }
         default: fail("bad escape");
