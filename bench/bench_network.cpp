@@ -31,12 +31,14 @@
 // representative usage, not a bench trick.
 #define ECD_BENCH_COUNT_ALLOCS 1
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/congest/metrics.h"
 #include "src/congest/network.h"
+#include "src/congest/trace.h"
 
 namespace {
 
@@ -296,6 +298,100 @@ void BM_FaultyPingPong(benchmark::State& state) {
   });
 }
 
+// Trace overhead (DESIGN.md §18, EXPERIMENTS.md E20): the flood workload
+// with a FlightRecorder attached — full event stream or sampled
+// (round_period 16 × vertex_stride 8) — against an untraced reference
+// measured inline on the same graph and thread count. The reported
+// `trace_overhead_pct` is informational: tools/bench_compare prints it but
+// never gates on it (it is a ratio of two measurements, so its run-to-run
+// noise is the sum of both). The FlightRecorder is the sink on trial
+// because it is the bounded one the simulator can afford at n = 10^6;
+// allocs_per_round must stay ~0 with it attached, traced or sampled.
+void BM_TracedFlood(benchmark::State& state) {
+  const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  const bool sampled = state.range(2) != 0;
+  const auto make_algos = [&] {
+    std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+    algos.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      algos.push_back(std::make_unique<FloodAlgo>(v == 0));
+    }
+    return algos;
+  };
+  using clock = std::chrono::steady_clock;
+  const auto run_ns = [](Network& net, auto& algos) {
+    const auto t0 = clock::now();
+    net.run(algos);
+    return std::chrono::duration<double, std::nano>(clock::now() - t0)
+        .count();
+  };
+
+  NetworkOptions base;
+  base.num_threads = threads;
+
+  // Untraced reference: same graph, same thread count, null sink.
+  double ref_ns = 0;
+  {
+    Network ref(g, base);
+    auto warm = make_algos();
+    ref.run(warm);
+    constexpr int kRefRuns = 3;
+    for (int i = 0; i < kRefRuns; ++i) {
+      auto algos = make_algos();
+      ref_ns += run_ns(ref, algos);
+    }
+    ref_ns /= kRefRuns;
+  }
+
+  congest::FlightRecorder recorder;
+  NetworkOptions opt = base;
+  opt.trace = &recorder;
+  if (sampled) {
+    opt.trace_config.round_period = 16;
+    opt.trace_config.vertex_stride = 8;
+  }
+  Network net(g, opt);
+  std::int64_t total_rounds = 0;
+  std::int64_t total_messages = 0;
+  std::int64_t runs = 0;
+  double traced_ns = 0;
+  for (auto _ : state) {
+    auto algos = make_algos();
+    const auto t0 = clock::now();
+    const RunStats stats = net.run(algos);
+    traced_ns +=
+        std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+    total_rounds += stats.rounds;
+    total_messages += stats.messages_sent;
+    ++runs;
+  }
+  std::int64_t allocs = 0;
+  std::int64_t audit_rounds = 0;
+  {
+    auto warm = make_algos();
+    net.run(warm);
+    auto audit = make_algos();
+    bench::AllocScope scope;
+    audit_rounds = net.run(audit).rounds;
+    allocs = scope.delta();
+  }
+  state.counters["n"] = g.num_vertices();
+  state.counters["m"] = g.num_edges();
+  state.counters["threads"] = threads;
+  state.counters["sampled"] = sampled ? 1 : 0;
+  bench::register_rss_counter(state);
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_rounds), benchmark::Counter::kIsRate);
+  state.counters["messages_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_messages), benchmark::Counter::kIsRate);
+  bench::register_alloc_counter(state, allocs, audit_rounds);
+  if (runs > 0 && ref_ns > 0) {
+    const double per_run = traced_ns / static_cast<double>(runs);
+    state.counters["trace_overhead_pct"] = (per_run - ref_ns) / ref_ns * 100.0;
+  }
+}
+
 void BM_TreeClimb(benchmark::State& state) {
   const graph::Graph g = grid_of(static_cast<int>(state.range(0)));
   const std::vector<int> parent_port = bfs_parent_ports(g);
@@ -367,6 +463,18 @@ BENCHMARK(BM_FaultyPingPong)
     ->Args({10240, 64, 10, 1})
     ->Args({1024, 64, 10, 4})
     ->Args({102400, 16, 10, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+// The E20 grid: serial vs sharded (threads 4) vs sampled, at the 100k CI
+// row and the n = 10^6 row the experiment reports.
+BENCHMARK(BM_TracedFlood)
+    ->ArgNames({"n", "threads", "sampled"})
+    ->Args({102400, 1, 0})
+    ->Args({102400, 4, 0})
+    ->Args({1048576, 1, 0})
+    ->Args({1048576, 4, 0})
+    ->Args({1048576, 1, 1})
+    ->Args({1048576, 4, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TreeClimb)

@@ -43,6 +43,21 @@
 //                --out <path>                trace file (default ecd_trace.json)
 //                --format chrome|jsonl       trace format (default chrome)
 //                --top <k>                   hotspot edges to print (default 10)
+//                --threads <k>               simulator worker threads
+//                                            (default 1; 0 = hardware) — the
+//                                            trace is byte-identical at every
+//                                            value (DESIGN.md §18)
+//                --sample r[,v[,t]]          sampling filters: keep rounds
+//                                            r | round, delivery events for
+//                                            vertices v | vertex, messages
+//                                            with tag == t (t < 0: all tags);
+//                                            defaults 1,1,-1 = everything
+//                --ring <k>                  flight-recorder mode: bounded
+//                                            ring of the last k rounds of
+//                                            events, dumped to --out as
+//                                            flight JSONL (auto-dumped on an
+//                                            aborted run); skips the hotspot
+//                                            report and ignores --format
 //
 // report options: --family/--n/--eps/--seed/--distributed as above
 //                 --threads <k>              simulator worker threads
@@ -99,6 +114,15 @@
 //                                            ecd_sweep.json)
 //                --top <k>                   congested edges per JSONL report
 //                                            (default 4)
+//                --progress <path|->         stream ecd-sweep-progress-v1
+//                                            heartbeat lines (cells done,
+//                                            runs/s, per-worker liveness +
+//                                            stall flags) to a file, or with
+//                                            "-" to stderr
+//                --progress-interval-ms <k>  heartbeat period (default 1000)
+//                --stall-seconds <k>         flag a worker stalled after k
+//                                            seconds without a completed run
+//                                            (default 30)
 //
 // families for `gen`/`trace`: grid, tri, planar, outer, twotree, tree,
 // torus, hypercube, expander.
@@ -159,6 +183,7 @@ struct Options {
       "  triangles <file>                   distributed triangle census\n"
       "  trace --family <f> --n <k>         traced pipeline run + hotspot"
       " report\n"
+      "        [--threads <k>] [--sample r[,v[,t]]] [--ring <k>]\n"
       "  report --family <f> --n <k>        metrics registry run ->"
       " ecd-run-report-v1\n"
       "  profile --family <f> --n <k>       execution profiler run ->"
@@ -166,7 +191,8 @@ struct Options {
       "  sweep --spec <file>                declarative run grid over one"
       " engine\n"
       "        [--workers <k>] [--repeat <k>] [--cold] [--jsonl <path>]\n"
-      "        [--out <path>] [--top <k>]\n"
+      "        [--out <path>] [--top <k>] [--progress <path|->]\n"
+      "        [--progress-interval-ms <k>] [--stall-seconds <k>]\n"
       "families: grid, tri, planar, outer, twotree, tree, torus, hypercube,"
       " expander\n");
   std::exit(2);
@@ -259,10 +285,11 @@ int cmd_gen(int argc, char** argv) {
 
 int cmd_trace(int argc, char** argv) {
   std::string family = "grid", out_path = "ecd_trace.json", format = "chrome";
-  int n = 1024, top_k = 10;
+  int n = 1024, top_k = 10, threads = 1, ring_rounds = 0;
   double eps = 0.2;
   std::uint64_t seed = 1;
   bool distributed = false;
+  ecd::congest::TraceConfig tcfg;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--family" && i + 1 < argc) {
@@ -275,6 +302,17 @@ int cmd_trace(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--distributed") {
       distributed = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--sample" && i + 1 < argc) {
+      long long r = 1;
+      int v = 1, t = -1;
+      if (std::sscanf(argv[++i], "%lld,%d,%d", &r, &v, &t) < 1) usage();
+      tcfg.round_period = r;
+      tcfg.vertex_stride = v;
+      tcfg.tag_filter = t;
+    } else if (arg == "--ring" && i + 1 < argc) {
+      ring_rounds = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--format" && i + 1 < argc) {
@@ -289,13 +327,56 @@ int cmd_trace(int argc, char** argv) {
   ecd::graph::Rng rng(seed);
   const Graph g = make_family(family, n, rng);
 
-  ecd::congest::MetricsCollector collector;
   ecd::core::FrameworkOptions fopt;
   fopt.seed = seed;
-  fopt.trace = &collector;
+  fopt.num_threads = threads;
+  fopt.trace_config = tcfg;
   if (distributed) {
     fopt.decomposition_mode = ecd::core::DecompositionMode::kDistributed;
   }
+
+  if (ring_rounds > 0) {
+    // Flight-recorder mode: a bounded ring of the last --ring rounds, no
+    // per-edge aggregation, no hotspot report — the trace shape for runs
+    // too large for MetricsCollector. The ring auto-dumps on an abnormal
+    // run end, so a failing run still ships its post-mortem.
+    ecd::congest::FlightRecorder::Options ropt;
+    ropt.keep_rounds = ring_rounds;
+    ecd::congest::FlightRecorder recorder(ropt);
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    recorder.set_auto_dump(&out);
+    fopt.trace = &recorder;
+    try {
+      auto p = ecd::core::partition_and_gather(g, eps, fopt);
+      std::vector<std::int64_t> answers(g.num_vertices());
+      for (int v = 0; v < g.num_vertices(); ++v) answers[v] = v;
+      ecd::core::return_results(p, answers, "result return (reversed walks)");
+      std::printf(
+          "family=%s n=%d m=%d eps=%.3f clusters=%d gather_complete=%d\n",
+          family.c_str(), g.num_vertices(), g.num_edges(), eps,
+          p.decomposition.num_clusters, p.gather_complete ? 1 : 0);
+    } catch (const std::exception& e) {
+      // The recorder already dumped its ring via on_abort.
+      std::fprintf(stderr, "run aborted: %s (flight dump in %s)\n", e.what(),
+                   out_path.c_str());
+      return 1;
+    }
+    recorder.dump_jsonl(out);
+    std::printf("wrote %s (flight format, %lld events retained, %lld"
+                " dropped, last round %lld)\n",
+                out_path.c_str(),
+                static_cast<long long>(recorder.events_retained()),
+                static_cast<long long>(recorder.events_dropped()),
+                static_cast<long long>(recorder.last_round()));
+    return 0;
+  }
+
+  ecd::congest::MetricsCollector collector;
+  fopt.trace = &collector;
   auto p = ecd::core::partition_and_gather(g, eps, fopt);
   // Exercise the reversed delivery too so its rounds join the ledger.
   std::vector<std::int64_t> answers(g.num_vertices());
@@ -728,8 +809,9 @@ int cmd_triangles(const Options& o) {
 }
 
 int cmd_sweep(int argc, char** argv) {
-  std::string spec_path, jsonl_path, out_path = "ecd_sweep.json";
+  std::string spec_path, jsonl_path, progress_path, out_path = "ecd_sweep.json";
   int workers = 1, top_k = 4, repeat = 1;
+  int progress_interval_ms = 1000, stall_seconds = 30;
   bool cold = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -739,6 +821,12 @@ int cmd_sweep(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (arg == "--jsonl" && i + 1 < argc) {
       jsonl_path = argv[++i];
+    } else if (arg == "--progress" && i + 1 < argc) {
+      progress_path = argv[++i];
+    } else if (arg == "--progress-interval-ms" && i + 1 < argc) {
+      progress_interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--stall-seconds" && i + 1 < argc) {
+      stall_seconds = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--top" && i + 1 < argc) {
@@ -767,12 +855,29 @@ int cmd_sweep(int argc, char** argv) {
     opt.workers = workers;
     opt.reuse = !cold;
     opt.report_top_edges = top_k;
+    opt.progress_interval_ms = progress_interval_ms;
+    opt.stall_seconds = stall_seconds;
     std::ofstream jsonl_out;
     if (!jsonl_path.empty()) {
       jsonl_out.open(jsonl_path);
       if (!jsonl_out) {
         std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
         return 1;
+      }
+    }
+    // Progress heartbeats go to a file or, with "-", to stderr (where they
+    // interleave with the pass summaries a human is already watching).
+    std::ofstream progress_file;
+    if (!progress_path.empty()) {
+      if (progress_path == "-") {
+        opt.progress = &std::cerr;
+      } else {
+        progress_file.open(progress_path);
+        if (!progress_file) {
+          std::fprintf(stderr, "cannot open %s\n", progress_path.c_str());
+          return 1;
+        }
+        opt.progress = &progress_file;
       }
     }
     const ecd::core::SweepResult* result = nullptr;

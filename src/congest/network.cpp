@@ -209,16 +209,6 @@ Network::Network(const Graph& g, NetworkOptions options)
             : g.neighbors(v);
   }
 
-  // The legacy event-stream sink is serial-only: the delivery phase would
-  // interleave per-event sink calls across shards and break byte-identical
-  // trace fixtures. Refuse loudly rather than silently serializing — the
-  // aggregate metrics registry is the parallel-safe instrumentation path.
-  if (options_.trace && options_.num_threads != 1) {
-    throw std::invalid_argument(
-        "NetworkOptions: TraceSink (options.trace) requires num_threads == 1;"
-        " the event-stream sink is serial-only. Use NetworkOptions::metrics"
-        " for instrumentation at any thread count (DESIGN.md §13)");
-  }
   // Static vertex sharding (DESIGN.md §11).
   num_shards_ = ThreadPool::resolve(options_.num_threads);
   if (options_.num_threads < 1) {
@@ -265,6 +255,7 @@ Network::Network(const Graph& g, NetworkOptions options)
                          vertex_shard[port_owner_[reverse_slot_[gp]]];
     }
   }
+  bool pool_fallback = false;
   if (num_shards_ > 1) {
     if (options_.shared_pool &&
         options_.shared_pool->num_threads() == num_shards_) {
@@ -274,6 +265,10 @@ Network::Network(const Graph& g, NetworkOptions options)
       // a shared pool under other Networks would invalidate theirs.
       pool_ptr_ = options_.shared_pool;
     } else {
+      // Counted below once metrics_ is bound: a sweep whose shared pool
+      // stopped matching its Networks degrades throughput invisibly
+      // otherwise.
+      pool_fallback = options_.shared_pool != nullptr;
       pool_ = std::make_unique<ThreadPool>(num_shards_);
       pool_ptr_ = pool_.get();
     }
@@ -325,12 +320,30 @@ Network::Network(const Graph& g, NetworkOptions options)
       }
     }
   }
-  if (options_.trace) trace_order_.reserve(num_dir_ports_);
+  if (options_.trace) {
+    trace_order_.reserve(num_dir_ports_);
+    // Sharded trace lanes (DESIGN.md §18): lane t holds shard t's delivered
+    // ports, so its receiver-port count bounds the lane. Reserved here,
+    // appends never allocate — the trace path keeps the zero-alloc round
+    // contract at every thread count.
+    trace_lane_.resize(num_shards_);
+    for (int t = 0; t < num_shards_; ++t) {
+      int ports = 0;
+      for (int s = 0; s < num_shards_; ++s) {
+        ports += static_cast<int>(active_[0][s * num_shards_ + t].capacity());
+      }
+      trace_lane_[t].reserve(ports);
+    }
+    if (churn_active_) trace_purged_.assign(num_dir_ports_, 0);
+  }
   profiler_ = options_.profiler;
   // Lane allocation happens here, once per Network — the profiler's round
   // hooks never allocate (DESIGN.md §10 holds with profiling on).
   if (profiler_) profiler_->bind(num_shards_);
   metrics_ = options_.metrics;
+  if (pool_fallback && metrics_) {
+    metrics_->counter("pool_fallbacks")->increment();
+  }
   if (metrics_) {
     edge_accum_.assign(num_dir_ports_, EdgeAccum{});
     const std::size_t tag_rows =
@@ -474,14 +487,18 @@ void Context::send(int port, Message message) {
       CongestionError err(CongestionError::Kind::kMessageSize, round_, id_,
                           neighbors_[port], message.size_words(),
                           kMaxMessageWords);
-      if (net.options_.trace) net.options_.trace->on_violation(err);
+      if (net.options_.trace) {
+        net.trace_violation(err, net.send_bucket_[gp] / net.num_shards_);
+      }
       throw err;
     }
     if (fresh >= net.options_.bandwidth_tokens) {
       CongestionError err(CongestionError::Kind::kBandwidth, round_, id_,
                           neighbors_[port], fresh + 1,
                           net.options_.bandwidth_tokens);
-      if (net.options_.trace) net.options_.trace->on_violation(err);
+      if (net.options_.trace) {
+        net.trace_violation(err, net.send_bucket_[gp] / net.num_shards_);
+      }
       throw err;
     }
   }
@@ -608,8 +625,41 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
   const std::int64_t t0 = ExecutionProfiler::now_ns();
   if (profiler_) profiler_->begin_run(num_shards_);
   if (metrics_) metrics_begin_run();
-  RunStats stats =
-      num_shards_ == 1 ? run_serial(algorithms) : run_parallel(algorithms);
+  TraceSink* const trace = options_.trace;
+  if (trace) trace->on_run_begin(n_, g_.num_edges(), options_);
+  RunStats stats;
+  if (!trace) {
+    stats = num_shards_ == 1 ? run_serial(algorithms) : run_parallel(algorithms);
+  } else {
+    // Workers stash violations instead of calling the sink; clear stale
+    // stashes from a previous aborted run before dispatching.
+    for (ShardAccum& acc : shard_accum_) acc.violation_armed = false;
+    // Abnormal unwinds notify the sink before propagating, so a flight
+    // recorder can dump its ring as the post-mortem artifact. Catch order
+    // matters: CongestionError is a runtime_error.
+    try {
+      stats =
+          num_shards_ == 1 ? run_serial(algorithms) : run_parallel(algorithms);
+    } catch (const CongestionError&) {
+      // Emit the lowest armed shard's stashed violation (parallel runs
+      // only; the serial path already called the sink at the throw site).
+      // run_phases rethrows the lowest shard's exception, so this is the
+      // violation the caller sees — and the one the serial loop reports.
+      for (const ShardAccum& acc : shard_accum_) {
+        if (!acc.violation_armed) continue;
+        trace->on_violation(CongestionError(
+            acc.violation_kind, acc.violation_round, acc.violation_from,
+            acc.violation_to, acc.violation_used, acc.violation_budget));
+        break;
+      }
+      trace->on_abort("congestion");
+      throw;
+    } catch (const std::runtime_error&) {
+      trace->on_abort("max_rounds");
+      throw;
+    }
+    trace->on_run_end(stats);
+  }
   if (profiler_) profiler_->end_run();
   stats.duration_ns = ExecutionProfiler::now_ns() - t0;
   if (metrics_) metrics_end_run(stats);
@@ -619,7 +669,6 @@ RunStats Network::run(std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms)
 RunStats Network::run_serial(
     std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
   TraceSink* const trace = options_.trace;
-  if (trace) trace->on_run_begin(n_, g_.num_edges(), options_);
   RunStats stats;
   int unfinished = 0;
   for (VertexId v = 0; v < n_; ++v) {
@@ -629,7 +678,6 @@ RunStats Network::run_serial(
   for (std::int64_t r = 0;; ++r) {
     if (unfinished == 0 && pending_injected_ == 0) {
       stats.rounds = r;
-      if (trace) trace->on_run_end(stats);
       return stats;
     }
     // Strict budget: at most max_rounds compute rounds ever execute.
@@ -644,7 +692,7 @@ RunStats Network::run_serial(
       } else {
         apply_churn(r, algorithms, unfinished);
       }
-      if (trace && round_churn_events_ > 0) {
+      if (trace && round_churn_events_ > 0 && trace_round_sampled(r)) {
         trace->on_churn(r, static_cast<int>(round_churn_events_));
       }
     }
@@ -659,105 +707,13 @@ RunStats Network::run_serial(
       profiler_->compute_end(0);
       profiler_->deliver_begin(0);
     }
-    std::int64_t fault_ns = 0;
-    if (!trace) {
-      fault_ns = deliver_shard(0, out, r);
-    } else {
-      // Traced delivery keeps its own loop: edges replay in sender
-      // (vertex, port) order — the order the pre-arena simulator emitted
-      // and trace fixtures were recorded in — and every message becomes an
-      // event. The sort key is the sender's global port, packed above the
-      // receiver port so a plain integer sort (no comparator indirection)
-      // yields the replay order directly.
-      racc.stats.messages_sent = 0;
-      racc.stats.words_sent = 0;
-      racc.stats.max_edge_load = 0;
-      racc.stats.messages_dropped = 0;
-      racc.stats.messages_duplicated = 0;
-      racc.stats.messages_delayed = 0;
-      racc.stats.churn_events = 0;
-      racc.stats.messages_purged = 0;
-      racc.injected_delta = 0;
-      // Retire this round's read inboxes BEFORE accounting: the fault hook
-      // may move delayed messages from `out` into exactly this buffer (it
-      // becomes next round's outbox), and those injections must survive.
-      retire_inbox_buffer();
-      const auto account = [&](int rs) {
-        if (churn_active_ && !port_on_[rs]) {
-          // Dead port: purge instead of delivering (mirrors the purge
-          // branch in deliver_shard; no events are emitted for a port that
-          // delivered nothing).
-          int pcnt;
-          if (arena_mode_) {
-            pcnt = counts_[out][rs];
-            counts_[out][rs] = 0;
-          } else {
-            pcnt = static_cast<int>(boxes_[out][rs].size());
-            boxes_[out][rs].clear();
-            stage_boxes_[out][rs].clear();
-          }
-          racc.injected_delta -= injected_[out][rs];
-          injected_[out][rs] = 0;
-          racc.stats.messages_purged += pcnt;
-          return;
-        }
-        if (faults_active_) {
-          if (profiler_) {
-            // Sub-phase timing is gated on both flags, so fault-free
-            // profiled runs take no extra clock reads per port.
-            const std::int64_t f0 = ExecutionProfiler::now_ns();
-            apply_port_faults(rs, out, r, racc);
-            fault_ns += ExecutionProfiler::now_ns() - f0;
-          } else {
-            apply_port_faults(rs, out, r, racc);
-          }
-        }
-        const Message* msgs;
-        int cnt;
-        if (arena_mode_) {
-          msgs = slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
-          cnt = counts_[out][rs];
-        } else {
-          const auto& box = boxes_[out][rs];
-          msgs = box.data();
-          cnt = static_cast<int>(box.size());
-        }
-        if (cnt == 0) return;  // every message on the port dropped/delayed
-        std::int64_t edge_words;
-        if (metrics_) {
-          edge_words = metrics_account_port(0, rs, msgs, cnt, r);
-        } else {
-          edge_words = 0;
-          for (int i = 0; i < cnt; ++i) edge_words += msgs[i].size_words();
-        }
-        racc.stats.messages_sent += cnt;
-        racc.stats.words_sent += edge_words;
-        racc.stats.max_edge_load = std::max(racc.stats.max_edge_load, cnt);
-        const VertexId to = port_owner_[rs];
-        mail_[out][to] = 1;
-        if (!queued_[out][to]) {
-          queued_[out][to] = 1;
-          worklist_[out][0].push_back(to);
-        }
-        for (int i = 0; i < cnt; ++i) {
-          trace->on_message(r, msgs[i].tag, msgs[i].size_words());
-        }
-        const VertexId from = contexts_[to].neighbors_[rs - port_base_[to]];
-        trace->on_edge_load(r, from, to, cnt, edge_words);
-      };
-      trace_order_.clear();
-      for (const std::vector<int>& bucket : active_[out]) {
-        for (const int rs : bucket) {
-          trace_order_.push_back(
-              (static_cast<std::uint64_t>(reverse_slot_[rs]) << 32) |
-              static_cast<std::uint32_t>(rs));
-        }
-      }
-      std::sort(trace_order_.begin(), trace_order_.end());
-      for (const std::uint64_t key : trace_order_) {
-        account(static_cast<int>(key & 0xffffffffu));
-      }
-    }
+    const std::int64_t fault_ns = deliver_shard(0, out, r);
+    // Traced delivery events replay from the lane deliver_shard filled, in
+    // sender-(vertex, port) order — the order the pre-arena simulator
+    // emitted and trace fixtures were recorded in. The parallel loop runs
+    // the identical replay at its barrier, which is what makes the event
+    // stream byte-identical across thread counts (DESIGN.md §18).
+    if (trace) trace_replay_round(r, out);
     if (profiler_) {
       profiler_->deliver_end(0, fault_ns);
       profiler_->reduce_begin();
@@ -772,7 +728,7 @@ RunStats Network::run_serial(
     stats += racc.stats;
     unfinished += racc.unfinished_delta;
     pending_injected_ += racc.injected_delta;
-    if (trace) {
+    if (trace && trace_round_sampled(r)) {
       trace->on_round_end(r, racc.stats.messages_sent, racc.stats.words_sent,
                           racc.stats.max_edge_load);
     }
@@ -854,6 +810,11 @@ void Network::compute_shard(
 std::int64_t Network::deliver_shard(int t, int out, std::int64_t r) {
   std::int64_t fault_ns = 0;
   ShardAccum& acc = shard_accum_[t];
+  // Trace lane t is written by this delivery alone (exactly one worker
+  // delivers shard t per round, orphans included), so appends here are
+  // single-writer; trace_replay_round drains the lanes at the barrier.
+  std::vector<std::uint64_t>* const lane =
+      options_.trace ? &trace_lane_[t] : nullptr;
   // stats.vertices_crashed and unfinished_delta were written by this
   // shard's compute phase; everything else is this phase's output.
   acc.stats.messages_sent = 0;
@@ -907,6 +868,15 @@ std::int64_t Network::deliver_shard(int t, int out, std::int64_t r) {
         acc.injected_delta -= injected_[out][rs];
         injected_[out][rs] = 0;
         acc.stats.messages_purged += cnt;
+        if (lane && cnt > 0) {
+          // Stage the purge for replay: the port is dead, so the replay
+          // recognizes the entry by liveness and reads the count from
+          // trace_purged_ (the mailbox was just cleared).
+          trace_purged_[rs] = cnt;
+          lane->push_back(
+              (static_cast<std::uint64_t>(reverse_slot_[rs]) << 32) |
+              static_cast<std::uint32_t>(rs));
+        }
         continue;
       }
       if (faults_active_) {
@@ -932,6 +902,14 @@ std::int64_t Network::deliver_shard(int t, int out, std::int64_t r) {
         cnt = static_cast<int>(box.size());
       }
       if (cnt == 0) continue;  // every message on the port dropped/delayed
+      if (lane) {
+        // Post-fault delivered traffic: the slot contents stay intact until
+        // this buffer is retired during the *next* round's delivery, so the
+        // barrier-time replay reads them in place.
+        lane->push_back(
+            (static_cast<std::uint64_t>(reverse_slot_[rs]) << 32) |
+            static_cast<std::uint32_t>(rs));
+      }
       if (metrics_) {
         edge_words = metrics_account_port(t, rs, msgs, cnt, r);
       } else {
@@ -1101,11 +1079,25 @@ void Network::apply_churn(
   // dead port is purged lazily by the next deliver_shard that scans it,
   // which keeps the zero-alloc bucket discipline intact.
   round_churn_events_ = 0;
+  TraceSink* const trace =
+      options_.trace && trace_round_sampled(r) ? options_.trace : nullptr;
   while (churn_cursor_ < churn_sched_.size() &&
          churn_sched_[churn_cursor_].round <= r) {
     const ChurnSched& e = churn_sched_[churn_cursor_];
     ++churn_cursor_;
     ++round_churn_events_;
+    if (trace) {
+      // Per-event stream, schedule order, caller thread (both round
+      // loops): edge events carry both endpoints, node events carry u
+      // alone. The lump on_churn(r, count) still follows once the loop
+      // drains.
+      trace->on_churn_event(
+          r, e.kind, e.kind == ChurnKind::kNodeLeave ||
+                             e.kind == ChurnKind::kNodeJoin
+                         ? e.u
+                         : port_owner_[e.gp],
+          e.gp >= 0 ? port_peer_[e.gp] : graph::kInvalidVertex);
+    }
     switch (e.kind) {
       case ChurnKind::kEdgeDelete:
         port_on_[e.gp] = 0;
@@ -1168,8 +1160,88 @@ void Network::apply_churn(
   }
 }
 
+void Network::trace_replay_round(std::int64_t r, int out) {
+  TraceSink* const trace = options_.trace;
+  const TraceConfig& cfg = options_.trace_config;
+  const bool sampled = cfg.round_sampled(r);
+  // Drain the lanes in shard order, then sort into sender-(vertex, port)
+  // order: the packed key puts the sender's global port above the receiver
+  // port, so a plain integer sort yields the replay order the pre-arena
+  // simulator emitted and every fixture was recorded in. The merge is the
+  // same whatever shard wrote which lane — that is the byte-identity
+  // argument (DESIGN.md §18).
+  trace_order_.clear();
+  for (std::vector<std::uint64_t>& lane : trace_lane_) {
+    trace_order_.insert(trace_order_.end(), lane.begin(), lane.end());
+    lane.clear();
+  }
+  std::sort(trace_order_.begin(), trace_order_.end());
+  for (const std::uint64_t key : trace_order_) {
+    const int rs = static_cast<int>(key & 0xffffffffu);
+    if (churn_active_ && !port_on_[rs]) {
+      // Port liveness only changes between rounds (apply_churn, caller
+      // thread), so a dead port here was dead at delivery: this lane entry
+      // was a purge, and its count was staged because the mailbox is
+      // already cleared. Reset the stage even on sampled-out rounds.
+      const int purged = trace_purged_[rs];
+      trace_purged_[rs] = 0;
+      if (sampled && purged > 0) {
+        trace->on_churn_purge(r, port_peer_[rs], port_owner_[rs], purged);
+      }
+      continue;
+    }
+    if (!sampled) continue;
+    const VertexId to = port_owner_[rs];
+    if (!cfg.vertex_sampled(to)) continue;
+    // Post-fault delivered messages: buffer `out` keeps them intact until
+    // it is retired during the next round's delivery, so the replay reads
+    // them in place on the caller thread.
+    const Message* msgs;
+    int cnt;
+    if (arena_mode_) {
+      msgs = slab_[out].data() + static_cast<std::size_t>(rs) * slot_cap_;
+      cnt = counts_[out][rs];
+    } else {
+      const auto& box = boxes_[out][rs];
+      msgs = box.data();
+      cnt = static_cast<int>(box.size());
+    }
+    std::int64_t edge_words = 0;
+    for (int i = 0; i < cnt; ++i) {
+      edge_words += msgs[i].size_words();
+      if (cfg.tag_sampled(msgs[i].tag)) {
+        trace->on_message(r, msgs[i].tag, msgs[i].size_words());
+      }
+    }
+    trace->on_edge_load(r, port_peer_[rs], to, cnt, edge_words);
+  }
+}
+
+void Network::trace_violation(const CongestionError& err, int shard) {
+  if (num_shards_ == 1) {
+    // Serial: the sink call is safe (and the fixtures expect it) right at
+    // the throw site.
+    options_.trace->on_violation(err);
+    return;
+  }
+  // Parallel: workers must not call the sink. Stash the shard's first
+  // violation; run() emits the lowest armed shard's record before
+  // rethrowing — the exception run_phases rethrows is the lowest shard's,
+  // so sink and exception agree like they do serially.
+  ShardAccum& acc = shard_accum_[shard];
+  if (acc.violation_armed) return;
+  acc.violation_armed = true;
+  acc.violation_kind = err.kind();
+  acc.violation_round = err.round();
+  acc.violation_from = err.from();
+  acc.violation_to = err.to();
+  acc.violation_used = err.used();
+  acc.violation_budget = err.budget();
+}
+
 RunStats Network::run_parallel(
     std::vector<std::unique_ptr<VertexAlgorithm>>& algorithms) {
+  TraceSink* const trace = options_.trace;
   RunStats stats;
   int unfinished = 0;
   for (VertexId v = 0; v < n_; ++v) {
@@ -1196,6 +1268,9 @@ RunStats Network::run_parallel(
         profiler_->add_churn_ns(ExecutionProfiler::now_ns() - c0);
       } else {
         apply_churn(r, algorithms, unfinished);
+      }
+      if (trace && round_churn_events_ > 0 && trace_round_sampled(r)) {
+        trace->on_churn(r, static_cast<int>(round_churn_events_));
       }
     }
     const int out = 1 - in_;
@@ -1300,6 +1375,10 @@ RunStats Network::run_parallel(
         }
       });
     }
+    // Every delivery is behind the dispatch barrier (or ran inline on the
+    // sparse path), so the lanes are complete: replay the round's trace
+    // events on the caller, in the same sorted order the serial loop uses.
+    if (trace) trace_replay_round(r, out);
     // Barrier reduction in shard order: the per-round RunStats is combined
     // once so it can feed both the run totals and the metrics registry.
     if (profiler_) profiler_->reduce_begin();
@@ -1312,6 +1391,10 @@ RunStats Network::run_parallel(
     }
     if (churn_active_) round.churn_events += round_churn_events_;
     stats += round;
+    if (trace && trace_round_sampled(r)) {
+      trace->on_round_end(r, round.messages_sent, round.words_sent,
+                          round.max_edge_load);
+    }
     if (metrics_) {
       metrics_->record_round(round);
       metrics_apply_round();

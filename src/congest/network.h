@@ -64,6 +64,33 @@ class CongestionError : public std::runtime_error {
   int budget_ = 0;
 };
 
+// Sampling filters for an attached TraceSink (DESIGN.md §18). Every field
+// is a pure function of (round, receiver vertex, message tag) — never of
+// the thread count or delivery order — so a sampled trace is bit-identical
+// at every num_threads value. The defaults keep every event, which is the
+// exact stream the PR 1 fixtures were recorded against.
+struct TraceConfig {
+  // Emit per-event callbacks (and on_round_end) only for rounds where
+  // round % round_period == 0. <= 1 keeps every round.
+  std::int64_t round_period = 1;
+  // Emit delivery events (on_message / on_edge_load) only for receivers
+  // with id % vertex_stride == 0. <= 1 keeps every vertex. Churn purge
+  // events are not strided — a purge is a rare, load-bearing event.
+  int vertex_stride = 1;
+  // When >= 0, on_message fires only for messages with exactly this tag.
+  // on_edge_load still covers the whole port (edge loads are per-edge
+  // facts, not per-tag ones).
+  int tag_filter = -1;
+
+  bool round_sampled(std::int64_t round) const {
+    return round_period <= 1 || round % round_period == 0;
+  }
+  bool vertex_sampled(graph::VertexId v) const {
+    return vertex_stride <= 1 || v % vertex_stride == 0;
+  }
+  bool tag_sampled(int tag) const { return tag_filter < 0 || tag == tag_filter; }
+};
+
 struct NetworkOptions {
   // Messages allowed per directed edge per round.
   int bandwidth_tokens = 1;
@@ -75,12 +102,15 @@ struct NetworkOptions {
   bool enforce_bandwidth = true;
   // Observer for round/edge/message events (src/congest/trace.h). Null by
   // default: the run loop takes no virtual calls and behaves exactly as
-  // before. The event stream is serial-only: a TraceSink together with
-  // num_threads != 1 makes the Network constructor throw
-  // std::invalid_argument (it would otherwise have to silently serialize
-  // and break the per-event order the fixtures were recorded in). For
-  // instrumentation at any thread count, use `metrics` below.
+  // before. Works at every num_threads value (DESIGN.md §18): with worker
+  // threads, delivery records per-shard event lanes that replay on the
+  // caller thread at the round barrier in sender-(vertex, port) order —
+  // the same order the serial loop emits — so the event stream is
+  // byte-identical across thread counts.
   TraceSink* trace = nullptr;
+  // Sampling filters for `trace` (ignored when trace is null). The
+  // defaults deliver the full event stream.
+  TraceConfig trace_config;
   // Always-on aggregate metrics (src/congest/metrics.h, DESIGN.md §13).
   // Unlike `trace`, this works at every num_threads value: per-shard
   // accumulator rows reduce at the round barrier, snapshots are
@@ -118,10 +148,13 @@ struct NetworkOptions {
   // num_threads() equals the Network's resolved shard count, the Network
   // dispatches rounds on it instead of spawning a private pool — so a sweep
   // over many Networks at the same thread count pays thread creation once,
-  // not once per Network. Any mismatch (including a serial Network) falls
-  // back to the usual behaviour silently. The caller must keep the pool
-  // alive for the Network's lifetime and must not run two Networks on one
-  // pool concurrently (a pool serves one dispatch at a time).
+  // not once per Network. A mismatched pool on a parallel Network falls
+  // back to an owned pool; the fallback is counted in the `pool_fallbacks`
+  // MetricsRegistry counter (when `metrics` is attached) so a sweep that
+  // silently stopped sharing threads shows up in its run reports. The
+  // caller must keep the pool alive for the Network's lifetime and must
+  // not run two Networks on one pool concurrently (a pool serves one
+  // dispatch at a time).
   ThreadPool* shared_pool = nullptr;
 };
 
@@ -350,6 +383,18 @@ class Network {
     // writes it while deliver_shard resets the stats block; the barrier
     // reduction folds it in.
     std::int64_t churn_sends_dropped = 0;
+    // Traced parallel runs stash the shard's first congestion violation
+    // here instead of calling the sink from a worker; run_parallel emits
+    // the lowest armed shard's record before rethrowing — the same
+    // violation the serial loop would have reported, because run_phases
+    // rethrows the lowest-shard exception.
+    bool violation_armed = false;
+    CongestionError::Kind violation_kind = CongestionError::Kind::kBandwidth;
+    std::int64_t violation_round = 0;
+    graph::VertexId violation_from = graph::kInvalidVertex;
+    graph::VertexId violation_to = graph::kInvalidVertex;
+    int violation_used = 0;
+    int violation_budget = 0;
   };
 
   // Delivery-phase fault hook (DESIGN.md §12): applies options_.faults to
@@ -564,6 +609,33 @@ class Network {
   // integer sort with no comparator indirection. Reserved up front (only
   // when a trace is attached).
   std::vector<std::uint64_t> trace_order_;
+  // Sharded trace lanes (DESIGN.md §18): lane t collects the packed keys
+  // of ports delivered to shard t this round — written by whichever worker
+  // delivered shard t (exactly one per round, orphans included), so every
+  // lane is single-writer. trace_replay_round drains the lanes into
+  // trace_order_ at the barrier, sorts, and replays events on the caller.
+  // Each lane is reserved to shard t's receiver-port count, so steady-state
+  // appends never allocate.
+  std::vector<std::vector<std::uint64_t>> trace_lane_;
+  // Per-port purge counts staged for replay (trace + churn only): a lane
+  // entry whose port is dead at replay time was a purge, and this array
+  // carries how many messages it removed. Reset to 0 as each entry is
+  // consumed.
+  std::vector<int> trace_purged_;
+  // Round-sampling check for the attached sink (false without one).
+  bool trace_round_sampled(std::int64_t r) const {
+    return options_.trace_config.round_sampled(r);
+  }
+  // Drains the lanes in shard order, sorts into sender-(vertex, port)
+  // order, and replays the round's delivery events (on_message /
+  // on_edge_load / on_churn_purge) on the caller thread at the barrier.
+  // Reads the post-fault contents of buffer `out`, which stay intact until
+  // that buffer is retired during the *next* round's delivery. Zero
+  // allocation: lanes and trace_order_ are reserved at construction.
+  void trace_replay_round(std::int64_t r, int out);
+  // Routes a congestion violation to the sink: direct call when serial,
+  // first-per-shard stash when parallel (workers must not call the sink).
+  void trace_violation(const CongestionError& err, int shard);
 
   // Per-vertex flag: buffer b delivers at least one message to the vertex.
   std::vector<char> mail_[2];

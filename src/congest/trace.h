@@ -76,8 +76,33 @@ class TraceSink {
     (void)round, (void)events;
   }
 
+  // One topology event fired before round `round`'s compute phase. Edge
+  // events carry both endpoints; node events carry u with
+  // v == graph::kInvalidVertex. Emitted per event, in schedule order, from
+  // the caller thread — immediately before the matching lump on_churn.
+  virtual void on_churn_event(std::int64_t round, ChurnKind kind,
+                              graph::VertexId u, graph::VertexId v) {
+    (void)round, (void)kind, (void)u, (void)v;
+  }
+
+  // `count` in-flight messages stranded on the dead edge from->to were
+  // purged during round `round`'s delivery (churn killed the edge under
+  // pending traffic — delayed messages, undelivered sends). Dead-port
+  // *send* drops are not per-event (the send never entered a mailbox);
+  // they appear only in RunStats::messages_purged.
+  virtual void on_churn_purge(std::int64_t round, graph::VertexId from,
+                              graph::VertexId to, int count) {
+    (void)round, (void)from, (void)to, (void)count;
+  }
+
   // A congestion-limit violation is about to be thrown.
   virtual void on_violation(const CongestionError& err) { (void)err; }
+
+  // The run is unwinding abnormally: `reason` is "congestion"
+  // (CongestionError — the violation above was already reported) or
+  // "max_rounds". Fired from Network::run before the exception propagates;
+  // flight recorders use it to dump their ring (post-mortem artifact).
+  virtual void on_abort(const char* reason) { (void)reason; }
 
   // Named phase spans; may nest (a span closed is the innermost open one).
   virtual void on_span_begin(const std::string& name) { (void)name; }
@@ -155,6 +180,20 @@ struct ViolationRecord {
   int budget = 0;
 };
 
+// Aggregated topology-churn observations (DESIGN.md §17 events as seen by
+// the trace layer).
+struct ChurnStats {
+  std::int64_t edge_inserts = 0;
+  std::int64_t edge_deletes = 0;
+  std::int64_t node_leaves = 0;
+  std::int64_t node_joins = 0;
+  std::int64_t purge_events = 0;      // dead edges purged under traffic
+  std::int64_t messages_purged = 0;   // messages those purges removed
+  std::int64_t total_events() const {
+    return edge_inserts + edge_deletes + node_leaves + node_joins;
+  }
+};
+
 // The standard metrics sink. Attach one instance to NetworkOptions::trace
 // (directly or via FrameworkOptions::trace) and read it after the run(s).
 class MetricsCollector : public TraceSink {
@@ -168,6 +207,10 @@ class MetricsCollector : public TraceSink {
                     graph::VertexId to, int messages,
                     std::int64_t words) override;
   void on_message(std::int64_t round, int tag, int words) override;
+  void on_churn_event(std::int64_t round, ChurnKind kind, graph::VertexId u,
+                      graph::VertexId v) override;
+  void on_churn_purge(std::int64_t round, graph::VertexId from,
+                      graph::VertexId to, int count) override;
   void on_violation(const CongestionError& err) override;
   void on_span_begin(const std::string& name) override;
   void on_span_end(const std::string& name) override;
@@ -188,6 +231,9 @@ class MetricsCollector : public TraceSink {
   const std::vector<ViolationRecord>& violations() const {
     return violations_;
   }
+  // Topology-churn totals across every observed run (all zero on
+  // churn-free networks).
+  const ChurnStats& churn_stats() const { return churn_; }
 
   // Directed edges sorted by total messages, descending; at most k
   // (k < 0: all edges).
@@ -214,6 +260,94 @@ class MetricsCollector : public TraceSink {
   std::vector<ViolationRecord> violations_;
   std::unordered_map<std::uint64_t, EdgeTraffic> edges_;
   std::map<int, std::int64_t> load_histogram_;
+  ChurnStats churn_;
+};
+
+// Bounded-memory post-mortem sink (DESIGN.md §18): a preallocated ring of
+// compact POD events retaining the most recent `ring_capacity` events,
+// additionally trimmed at each round boundary so at most the last
+// `keep_rounds` rounds survive. Steady state allocates nothing (audited by
+// sparse_alloc_test) and memory is fixed at construction — the sink for
+// traced runs at n >= 10^6, where MetricsCollector's per-round/per-edge
+// growth is the problem this class exists to avoid. On an abnormal run end
+// (CongestionError, max_rounds — TraceSink::on_abort) the ring dumps
+// itself to the configured stream automatically, shipping the last K
+// rounds of events as the failure artifact.
+class FlightRecorder : public TraceSink {
+ public:
+  struct Options {
+    int ring_capacity = 1 << 16;  // events retained, absolute ceiling
+    int keep_rounds = 64;         // rounds retained behind the newest
+  };
+  FlightRecorder();
+  explicit FlightRecorder(Options options);
+
+  void on_run_begin(int num_vertices, int num_edges,
+                    const NetworkOptions& options) override;
+  void on_run_end(const RunStats& stats) override;
+  void on_round_end(std::int64_t round, std::int64_t messages,
+                    std::int64_t words, int max_edge_load) override;
+  void on_edge_load(std::int64_t round, graph::VertexId from,
+                    graph::VertexId to, int messages,
+                    std::int64_t words) override;
+  void on_message(std::int64_t round, int tag, int words) override;
+  void on_churn_event(std::int64_t round, ChurnKind kind, graph::VertexId u,
+                      graph::VertexId v) override;
+  void on_churn_purge(std::int64_t round, graph::VertexId from,
+                      graph::VertexId to, int count) override;
+  void on_violation(const CongestionError& err) override;
+  void on_abort(const char* reason) override;
+
+  // Dump target for on_abort (and, when dump_on_purge, the first churn
+  // purge of a run). Null (the default) disables auto-dumping.
+  void set_auto_dump(std::ostream* os, bool dump_on_purge = false) {
+    auto_dump_ = os;
+    dump_on_purge_ = dump_on_purge;
+  }
+
+  // Events currently retained, oldest first.
+  std::int64_t events_retained() const { return size_; }
+  std::int64_t events_dropped() const { return dropped_; }
+  std::int64_t last_round() const { return last_round_; }
+  // Writes the retained events as JSONL: a "flight" meta line, then one
+  // event object per line, oldest first.
+  void dump_jsonl(std::ostream& os) const;
+
+  // One ring slot. Type-specific payloads share the int64 fields; unused
+  // fields are zero.
+  enum class EventKind : std::uint8_t {
+    kRunBegin,   // a = vertices, b = edges
+    kRound,      // a = messages, b = words, c = max_edge_load
+    kEdgeLoad,   // a = from, b = to, c = messages, d = words
+    kMessage,    // a = tag, b = words
+    kChurn,      // a = ChurnKind, b = u, c = v
+    kPurge,      // a = from, b = to, c = count
+    kViolation,  // a = kind, b = from, c = to, d = used<<32|budget
+    kRunEnd,     // a = rounds, b = messages, c = words
+  };
+  struct Event {
+    EventKind kind = EventKind::kRound;
+    std::int64_t round = 0;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int64_t c = 0;
+    std::int64_t d = 0;
+  };
+
+ private:
+  void push(const Event& e);
+  void trim_rounds(std::int64_t newest_round);
+
+  Options options_;
+  std::vector<Event> ring_;     // capacity fixed at construction
+  std::int64_t head_ = 0;       // index of oldest retained event
+  std::int64_t size_ = 0;       // events retained
+  std::int64_t dropped_ = 0;    // events overwritten or trimmed
+  std::int64_t last_round_ = -1;
+  std::int64_t run_base_round_ = 0;  // global round offset of current run
+  std::ostream* auto_dump_ = nullptr;
+  bool dump_on_purge_ = false;
+  bool purge_dumped_ = false;
 };
 
 // --- Exporters -----------------------------------------------------------------

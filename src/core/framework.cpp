@@ -123,6 +123,7 @@ Partition partition_and_gather(const Graph& g, double eps,
   const auto& cluster_of = out.decomposition.cluster_of;
   congest::NetworkOptions control_net;  // bandwidth-1 control traffic
   control_net.trace = options.trace;
+  control_net.trace_config = options.trace_config;
   control_net.metrics = options.metrics;
   control_net.profiler = options.profiler;
   control_net.num_threads = options.num_threads;
@@ -179,6 +180,7 @@ Partition partition_and_gather(const Graph& g, double eps,
   GatherOptions gopt;
   gopt.seed = graph::splitmix64(options.seed ^ 0x2545F4914F6CDD1DULL);
   gopt.net.trace = options.trace;
+  gopt.net.trace_config = options.trace_config;
   gopt.net.metrics = options.metrics;
   gopt.net.profiler = options.profiler;
   gopt.net.num_threads = options.num_threads;

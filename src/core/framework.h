@@ -62,9 +62,14 @@ struct FrameworkOptions {
   // "phase:*" span around each of its five phases (decomposition, election,
   // orientation, gather, reconstruct), the primitives nest their own spans
   // inside, and every simulator round/edge/message event is reported. Null:
-  // zero overhead. Serial-only: a non-null sink forces num_threads == 1
-  // (the Network constructor rejects any other combination).
+  // zero overhead. Valid at every num_threads value — sharded trace lanes
+  // (DESIGN.md §18) replay events on the caller in a fixed merge order, so
+  // the event stream is byte-identical across thread counts.
   congest::TraceSink* trace = nullptr;
+  // Sampling filters and flight-recorder gating for `trace`
+  // (NetworkOptions::trace_config): round/vertex/tag filters that bound
+  // trace volume deterministically. Defaults trace everything.
+  congest::TraceConfig trace_config;
   // Aggregate metrics (src/congest/metrics.h): when set, every simulated
   // phase runs with the registry attached — per-tag traffic, round
   // histograms, edge high-water marks, critical path — and each pipeline

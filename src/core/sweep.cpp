@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <random>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
 #include <utility>
 
@@ -732,6 +736,60 @@ struct SweepEngine::Impl {
   SweepResult result;
   std::mutex jsonl_mu;
 
+  // --- Progress telemetry (ecd-sweep-progress-v1) -------------------------
+  // One cache-line-aligned heartbeat slot per worker, written only by that
+  // worker (the metrics-accumulator pattern); the monitor thread reads them
+  // relaxed — heartbeats are measurements, not synchronization.
+  struct alignas(64) WorkerBeat {
+    std::atomic<std::int64_t> runs{0};
+    std::atomic<std::int64_t> last_ns{0};  // 0 = no run finished yet
+  };
+  std::unique_ptr<WorkerBeat[]> beats;
+  int num_beats = 0;
+  std::atomic<std::int64_t> cells_done{0};
+  bool progress_active = false;
+  std::mutex progress_mu;
+  std::condition_variable progress_cv;
+  bool progress_stop = false;
+
+  void progress_run_done(int worker) {
+    if (!progress_active) return;
+    cells_done.fetch_add(1, std::memory_order_relaxed);
+    WorkerBeat& b = beats[worker >= 0 && worker < num_beats ? worker : 0];
+    b.runs.fetch_add(1, std::memory_order_relaxed);
+    b.last_ns.store(congest::ExecutionProfiler::now_ns(),
+                    std::memory_order_relaxed);
+  }
+
+  void emit_progress(std::ostream& os, std::int64_t total, std::int64_t t0,
+                     int stall_seconds, bool done) {
+    const std::int64_t now = congest::ExecutionProfiler::now_ns();
+    const std::int64_t elapsed_ms = (now - t0) / 1'000'000;
+    const std::int64_t finished = cells_done.load(std::memory_order_relaxed);
+    char rps[32];
+    std::snprintf(rps, sizeof(rps), "%.1f",
+                  elapsed_ms > 0 ? static_cast<double>(finished) * 1000.0 /
+                                       static_cast<double>(elapsed_ms)
+                                 : 0.0);
+    std::ostringstream line;
+    line << "{\"schema\":\"ecd-sweep-progress-v1\",\"cells_done\":" << finished
+         << ",\"cells_total\":" << total << ",\"elapsed_ms\":" << elapsed_ms
+         << ",\"runs_per_sec\":" << rps << ",\"workers\":[";
+    for (int i = 0; i < num_beats; ++i) {
+      const std::int64_t last = beats[i].last_ns.load(std::memory_order_relaxed);
+      const std::int64_t idle_ms = (now - (last > 0 ? last : t0)) / 1'000'000;
+      const bool stalled =
+          !done && finished < total &&
+          idle_ms > static_cast<std::int64_t>(stall_seconds) * 1000;
+      line << (i > 0 ? "," : "") << "{\"id\":" << i << ",\"runs\":"
+           << beats[i].runs.load(std::memory_order_relaxed)
+           << ",\"idle_ms\":" << idle_ms
+           << ",\"stalled\":" << (stalled ? "true" : "false") << "}";
+    }
+    line << "],\"done\":" << (done ? "true" : "false") << "}\n";
+    os << line.str() << std::flush;
+  }
+
   ThreadPool& pool_for(int num_threads) {
     std::unique_ptr<ThreadPool>& slot = pools[num_threads];
     if (!slot) slot = std::make_unique<ThreadPool>(num_threads);
@@ -785,7 +843,8 @@ struct SweepEngine::Impl {
   // Warm group: every run reuses the entry's Network and algorithm vector
   // through reset_for_run()/reset(run_seed). Exactly one worker executes a
   // group, so each cached Network has a single writer.
-  void run_group_warm(const Group& g, const SweepOptions& options) {
+  void run_group_warm(const Group& g, const SweepOptions& options,
+                      int worker) {
     for (std::int64_t i = g.begin; i < g.end; ++i) {
       const SweepCell& cell = cells[static_cast<std::size_t>(i)];
       result.records[static_cast<std::size_t>(i)] = run_prepared(
@@ -796,13 +855,14 @@ struct SweepEngine::Impl {
                     g.entry->graph->num_edges(), *g.entry->metrics,
                     result.records[static_cast<std::size_t>(i)].result_word);
       }
+      progress_run_done(worker);
     }
   }
 
   // Cold group: fresh Graph + Network + algorithms per run — the
   // construction cost the caches exist to remove.
   void run_group_cold(const SweepSpec& spec, const Group& g,
-                      const SweepOptions& options) {
+                      const SweepOptions& options, int worker) {
     for (std::int64_t i = g.begin; i < g.end; ++i) {
       const SweepCell& cell = cells[static_cast<std::size_t>(i)];
       MetricsRegistry metrics;
@@ -817,6 +877,7 @@ struct SweepEngine::Impl {
                     metrics,
                     result.records[static_cast<std::size_t>(i)].result_word);
       }
+      progress_run_done(worker);
     }
   }
 };
@@ -868,11 +929,59 @@ const SweepResult& SweepEngine::run(const SweepSpec& spec,
   }
 
   const int workers = ThreadPool::resolve(options.workers);
-  const auto run_group = [&](const Impl::Group& g) {
+
+  // Progress monitor: heartbeat slots are reset per execution, then a
+  // detached-from-the-work thread samples them every interval until the
+  // grid drains. The guard joins the monitor even if a run throws (so the
+  // std::thread never destructs joinable); the final "done":true line only
+  // goes out on the normal path, after every group has finished.
+  im.progress_active = options.progress != nullptr;
+  struct MonitorGuard {
+    Impl* im = nullptr;
+    std::thread t;
+    void stop() {
+      if (!t.joinable()) return;
+      {
+        std::lock_guard<std::mutex> lock(im->progress_mu);
+        im->progress_stop = true;
+      }
+      im->progress_cv.notify_all();
+      t.join();
+    }
+    ~MonitorGuard() { stop(); }
+  } monitor;
+  if (im.progress_active) {
+    const int nb = std::max(1, workers);
+    if (nb != im.num_beats) {
+      im.beats = std::make_unique<Impl::WorkerBeat[]>(
+          static_cast<std::size_t>(nb));
+      im.num_beats = nb;
+    }
+    for (int i = 0; i < im.num_beats; ++i) {
+      im.beats[i].runs.store(0, std::memory_order_relaxed);
+      im.beats[i].last_ns.store(0, std::memory_order_relaxed);
+    }
+    im.cells_done.store(0, std::memory_order_relaxed);
+    im.progress_stop = false;
+    monitor.im = &im;
+    const std::int64_t total = static_cast<std::int64_t>(num_cells);
+    monitor.t = std::thread([&im, &options, total, t0] {
+      const auto interval = std::chrono::milliseconds(
+          std::max(1, options.progress_interval_ms));
+      std::unique_lock<std::mutex> lock(im.progress_mu);
+      while (!im.progress_cv.wait_for(lock, interval,
+                                      [&im] { return im.progress_stop; })) {
+        im.emit_progress(*options.progress, total, t0, options.stall_seconds,
+                         false);
+      }
+    });
+  }
+
+  const auto run_group = [&](const Impl::Group& g, int worker) {
     if (options.reuse) {
-      im.run_group_warm(g, options);
+      im.run_group_warm(g, options, worker);
     } else {
-      im.run_group_cold(spec, g, options);
+      im.run_group_cold(spec, g, options, worker);
     }
   };
   if (workers > 1 && im.serial_groups.size() > 1) {
@@ -880,20 +989,28 @@ const SweepResult& SweepEngine::run(const SweepSpec& spec,
     // Group granularity keeps one writer per cached Network and lets a
     // group's runs stay warm in the worker's cache.
     std::atomic<std::size_t> next{0};
-    im.pool_for(workers).run([&](int) {
+    im.pool_for(workers).run([&](int w) {
       for (;;) {
         const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
         if (j >= im.serial_groups.size()) return;
-        run_group(im.groups[im.serial_groups[j]]);
+        run_group(im.groups[im.serial_groups[j]], w);
       }
     });
   } else {
-    for (const std::size_t j : im.serial_groups) run_group(im.groups[j]);
+    for (const std::size_t j : im.serial_groups) run_group(im.groups[j], 0);
   }
   // Parallel cells run one at a time on the caller: their parallelism is
   // the existing intra-run sharded loop, dispatched on the engine's pool
-  // for that thread count (NetworkOptions::shared_pool).
-  for (const std::size_t j : im.parallel_groups) run_group(im.groups[j]);
+  // for that thread count (NetworkOptions::shared_pool). Heartbeats land
+  // on worker 0 (the caller's slot).
+  for (const std::size_t j : im.parallel_groups) run_group(im.groups[j], 0);
+
+  if (im.progress_active) {
+    monitor.stop();
+    im.emit_progress(*options.progress, static_cast<std::int64_t>(num_cells),
+                     t0, options.stall_seconds, true);
+    im.progress_active = false;
+  }
 
   if (!options.reuse) {
     im.result.graphs_built = static_cast<std::int64_t>(num_cells);

@@ -148,6 +148,18 @@ struct SweepOptions {
   // whatever order runs finish; the "run" info key recovers cell order.
   std::ostream* jsonl = nullptr;
   int report_top_edges = 4;
+  // When set, a monitor thread streams one ecd-sweep-progress-v1 JSON
+  // line per interval: cells done/total, elapsed wall clock, runs/s, and
+  // per-worker liveness (runs completed, ms since last completion, a
+  // stall flag). A final line with "done":true follows the last cell.
+  // Values are measurements — the schema is stable, the numbers are not
+  // (contrast the deterministic aggregate). Null: no monitor thread.
+  std::ostream* progress = nullptr;
+  int progress_interval_ms = 1000;
+  // A worker whose last run completion is older than this while the grid
+  // is unfinished is flagged "stalled":true — the watchdog for wedged
+  // workers on long sweeps.
+  int stall_seconds = 30;
 };
 
 // Results of one SweepEngine::run execution. Returned by reference: the

@@ -16,12 +16,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/congest/fault.h"
 #include "src/congest/network.h"
+#include "src/congest/trace.h"
 #include "src/core/sweep.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
@@ -471,6 +474,170 @@ TEST(ChurnSweep, AggregateByteIdenticalAcrossWorkersAndWarmRepeats) {
   const jsonmin::Value doc = jsonmin::parse(agg1);
   EXPECT_GT(doc.at("totals").at("churn_events").number, 0.0);
   EXPECT_GE(doc.at("totals").at("purged").number, 0.0);
+}
+
+// --- Churn events through the trace layer (DESIGN.md §18) --------------------
+
+// Raw recorder: keeps every churn callback verbatim so the tests below can
+// pin the exact emission order and payloads.
+class ChurnEventRecorder : public congest::TraceSink {
+ public:
+  struct Event {
+    std::int64_t round;
+    ChurnKind kind;
+    graph::VertexId u, v;
+  };
+  struct Purge {
+    std::int64_t round;
+    graph::VertexId from, to;
+    int count;
+  };
+
+  void on_churn_event(std::int64_t round, ChurnKind kind, graph::VertexId u,
+                      graph::VertexId v) override {
+    events.push_back({round, kind, u, v});
+  }
+  void on_churn(std::int64_t round, int count) override {
+    lumps.push_back({round, count});
+  }
+  void on_churn_purge(std::int64_t round, graph::VertexId from,
+                      graph::VertexId to, int count) override {
+    purges.push_back({round, from, to, count});
+    purged_total += count;
+  }
+
+  std::vector<Event> events;
+  std::vector<std::pair<std::int64_t, int>> lumps;
+  std::vector<Purge> purges;
+  std::int64_t purged_total = 0;
+};
+
+// The schedule the pinned-emission tests run: leave(1)@2, insert(0,2)@4,
+// join(1)@5 on the 3-path — one event of each surviving kind, each on its
+// own round.
+FaultPlan traced_churn_plan() {
+  FaultPlan plan;
+  plan.churn = {{ChurnKind::kNodeLeave, 2, 1, 0},
+                {ChurnKind::kEdgeInsert, 4, 0, 2},
+                {ChurnKind::kNodeJoin, 5, 1, 0}};
+  return plan;
+}
+
+TEST(ChurnTrace, EventsEmitPerEventInScheduleOrderWithEndpoints) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  NetworkOptions opt;
+  opt.faults = traced_churn_plan();
+  ChurnEventRecorder rec;
+  opt.trace = &rec;
+  Network net(g, opt);
+  auto algos = make_probes(g, /*rounds=*/8);
+  const RunStats stats = net.run(algos);
+  EXPECT_EQ(stats.churn_events, 3);
+
+  // One on_churn_event per scheduled event, in schedule order. Node events
+  // carry u with v == kInvalidVertex; the edge insert carries both
+  // endpoints as (port owner, port peer) of the new edge's first port.
+  ASSERT_EQ(rec.events.size(), 3u);
+  EXPECT_EQ(rec.events[0].round, 2);
+  EXPECT_EQ(rec.events[0].kind, ChurnKind::kNodeLeave);
+  EXPECT_EQ(rec.events[0].u, 1);
+  EXPECT_EQ(rec.events[0].v, graph::kInvalidVertex);
+  EXPECT_EQ(rec.events[1].round, 4);
+  EXPECT_EQ(rec.events[1].kind, ChurnKind::kEdgeInsert);
+  EXPECT_EQ(rec.events[1].u, 0);
+  EXPECT_EQ(rec.events[1].v, 2);
+  EXPECT_EQ(rec.events[2].round, 5);
+  EXPECT_EQ(rec.events[2].kind, ChurnKind::kNodeJoin);
+  EXPECT_EQ(rec.events[2].u, 1);
+  EXPECT_EQ(rec.events[2].v, graph::kInvalidVertex);
+
+  // Each fired round also got its lump summary, after the per-event calls.
+  EXPECT_EQ(rec.lumps, (std::vector<std::pair<std::int64_t, int>>{
+                           {2, 1}, {4, 1}, {5, 1}}));
+  // Nothing on this schedule dies under pending traffic: post-churn sends
+  // to dead ports are dropped at send() and are *not* per-edge purges.
+  EXPECT_TRUE(rec.purges.empty());
+}
+
+TEST(ChurnTrace, CollectorPinsChurnStatsAndExportsTheChurnLine) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  NetworkOptions opt;
+  opt.faults = traced_churn_plan();
+  congest::MetricsCollector mc;
+  opt.trace = &mc;
+  Network net(g, opt);
+  auto algos = make_probes(g, /*rounds=*/8);
+  net.run(algos);
+
+  const congest::ChurnStats& c = mc.churn_stats();
+  EXPECT_EQ(c.edge_inserts, 1);
+  EXPECT_EQ(c.edge_deletes, 0);
+  EXPECT_EQ(c.node_leaves, 1);
+  EXPECT_EQ(c.node_joins, 1);
+  EXPECT_EQ(c.total_events(), 3);
+  EXPECT_EQ(c.purge_events, 0);
+  EXPECT_EQ(c.messages_purged, 0);
+
+  std::ostringstream os;
+  congest::export_jsonl(mc, os);
+  EXPECT_NE(os.str().find("{\"type\":\"churn\",\"edge_inserts\":1,"
+                          "\"edge_deletes\":0,\"node_leaves\":1,"
+                          "\"node_joins\":1,\"purge_events\":0,"
+                          "\"messages_purged\":0}"),
+            std::string::npos);
+}
+
+TEST(ChurnTrace, DeliveryPurgesAreTracedPerEdgeButSendDropsAreNot) {
+  // The one schedule that produces true delivery-time purges: every
+  // message is delayed 1..3 rounds, and the only edge dies at round 2 with
+  // traffic parked on it (the ChurnFaults termination scenario, traced).
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  FaultPlan plan;
+  plan.seed = 0x5eedULL;
+  plan.delay_probability = 1.0;
+  plan.max_delay_rounds = 3;
+  plan.churn = {{ChurnKind::kEdgeDelete, 2, 0, 1}};
+  NetworkOptions opt;
+  opt.faults = plan;
+  opt.max_rounds = 100;
+  ChurnEventRecorder rec;
+  opt.trace = &rec;
+  Network net(g, opt);
+  auto algos = make_probes(g, /*rounds=*/6);
+  const RunStats stats = net.run(algos);
+
+  // The parked messages were purged as per-edge trace events...
+  ASSERT_FALSE(rec.purges.empty());
+  for (const auto& p : rec.purges) {
+    EXPECT_GE(p.round, 2);
+    EXPECT_TRUE((p.from == 0 && p.to == 1) || (p.from == 1 && p.to == 0));
+    EXPECT_GT(p.count, 0);
+  }
+  // ...and RunStats' purge total covers them. The two need not be equal:
+  // the probes keep sending on the dead port after the delete, and those
+  // dead-port send drops count in RunStats but are not per-edge purges.
+  EXPECT_GT(rec.purged_total, 0);
+  EXPECT_LE(rec.purged_total, stats.messages_purged);
+}
+
+TEST(ChurnTrace, SendDropsCountInRunStatsButNotAsPurgeEvents) {
+  // The inverse pin: the EdgeDeleteStopsTraffic scenario purges 6 messages
+  // in RunStats, every one a dead-port send drop — the trace layer must
+  // report zero per-edge purge events for it.
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  FaultPlan plan;
+  plan.churn = {{ChurnKind::kEdgeDelete, 3, 0, 1}};
+  NetworkOptions opt;
+  opt.faults = plan;
+  congest::MetricsCollector mc;
+  opt.trace = &mc;
+  Network net(g, opt);
+  auto algos = make_probes(g, /*rounds=*/6);
+  const RunStats stats = net.run(algos);
+  EXPECT_EQ(stats.messages_purged, 6);
+  EXPECT_EQ(mc.churn_stats().edge_deletes, 1);
+  EXPECT_EQ(mc.churn_stats().purge_events, 0);
+  EXPECT_EQ(mc.churn_stats().messages_purged, 0);
 }
 
 }  // namespace

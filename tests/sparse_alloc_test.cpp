@@ -19,6 +19,7 @@
 
 #include "src/congest/network.h"
 #include "src/congest/profiler.h"
+#include "src/congest/trace.h"
 #include "src/core/sweep.h"
 #include "src/graph/generators.h"
 
@@ -172,6 +173,45 @@ TEST(SparseAlloc, ChurnRoundsStayOffTheHeap) {
     const std::int64_t delta = allocation_count() - before;
     EXPECT_EQ(delta, 0) << threads << " threads";
     EXPECT_EQ(stats.churn_events, warm_stats.churn_events);
+  }
+}
+
+// Tracing is part of the same contract (DESIGN.md §18): the sharded trace
+// lanes, the replay merge index, and the flight recorder's ring are all
+// sized in the constructor, so a traced round — full, sampled, or both, at
+// any thread count — allocates nothing after warm-up. MetricsCollector is
+// deliberately out of scope here: it aggregates into growing containers by
+// design; FlightRecorder is the bounded sink this audit covers.
+TEST(SparseAlloc, TracedRoundsStayOffTheHeapInEveryTraceMode) {
+  struct Mode {
+    const char* name;
+    TraceConfig config;
+  };
+  const Mode modes[] = {
+      {"full", {}},
+      {"sampled", {/*round_period=*/4, /*vertex_stride=*/2, /*tag_filter=*/-1}},
+  };
+  for (const int threads : {1, 4}) {
+    for (const Mode& mode : modes) {
+      const Graph g = graph::grid(32, 32);
+      FlightRecorder::Options ropt;
+      ropt.ring_capacity = 1 << 12;
+      ropt.keep_rounds = 16;
+      FlightRecorder recorder(ropt);
+      NetworkOptions opt;
+      opt.num_threads = threads;
+      opt.trace = &recorder;
+      opt.trace_config = mode.config;
+      Network net(g, opt);
+      auto warm = make_flood(g);
+      net.run(warm);
+      auto audit = make_flood(g);
+      const std::int64_t before = allocation_count();
+      net.run(audit);
+      const std::int64_t delta = allocation_count() - before;
+      EXPECT_EQ(delta, 0) << mode.name << " @ " << threads << " threads";
+      EXPECT_GT(recorder.events_retained(), 0);
+    }
   }
 }
 

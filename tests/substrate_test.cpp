@@ -947,23 +947,18 @@ TEST(SubstrateParity, TraceAndStatsMatchPreArenaRecording) {
   run_parity_workload({});
 }
 
-// The event-stream TraceSink is serial-only; instead of silently dropping
-// to one shard (the old behaviour), the Network now rejects the
-// combination outright — anything else quietly invalidates a "parallel"
-// measurement. NetworkOptions::metrics is the any-thread-count
-// instrumentation path (tests/metrics_test.cpp).
-TEST(SubstrateParity, TraceWithWorkerThreadsIsRejected) {
-  graph::Rng rng(5);
-  const Graph g = graph::random_maximal_planar(32, rng);
-  MetricsCollector mc;
-  NetworkOptions net;
-  net.trace = &mc;
-  net.num_threads = 4;
-  EXPECT_THROW(Network(g, net), std::invalid_argument);
-  net.num_threads = 0;  // "hardware concurrency" is not a serial request
-  EXPECT_THROW(Network(g, net), std::invalid_argument);
-  net.num_threads = 1;
-  EXPECT_NO_THROW(Network(g, net));
+// The event-stream TraceSink used to be serial-only; sharded trace lanes
+// (DESIGN.md §18) made it thread-count-invariant. The pre-arena parity
+// recording must hold — every aggregate, byte for byte in the exporters —
+// at every worker count, because lanes replay in the same sorted
+// (sender-slot, receiver-port) order the serial loop delivers in.
+TEST(SubstrateParity, TraceMatchesPreArenaRecordingAtEveryThreadCount) {
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    NetworkOptions net;
+    net.num_threads = threads;
+    run_parity_workload(net);
+  }
 }
 
 }  // namespace

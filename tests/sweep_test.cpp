@@ -458,6 +458,61 @@ TEST(NetworkResetForRun, SetFaultSeedMatchesFreshNetworkWithThatSeed) {
               s2.messages_duplicated != s3.messages_duplicated);
 }
 
+// --- Progress telemetry (ecd-sweep-progress-v1) ------------------------------
+
+TEST(SweepProgress, StreamsSchemaStableHeartbeatsAndAFinalDoneLine) {
+  const SweepSpec spec = mixed_spec();
+  const std::int64_t cells = spec.num_cells();
+  SweepEngine engine;
+  std::ostringstream progress;
+  SweepOptions opt;
+  opt.workers = 2;
+  opt.progress = &progress;
+  opt.progress_interval_ms = 1;  // heartbeat as fast as the monitor allows
+  engine.run(spec, opt);
+
+  std::istringstream lines(progress.str());
+  std::string line;
+  int parsed = 0;
+  bool saw_done = false;
+  while (std::getline(lines, line)) {
+    const jsonmin::Value doc = jsonmin::parse(line);
+    ++parsed;
+    // Schema-stable: every line carries the full field set.
+    EXPECT_EQ(doc.at("schema").string, "ecd-sweep-progress-v1");
+    EXPECT_EQ(doc.at("cells_total").number, static_cast<double>(cells));
+    EXPECT_GE(doc.at("cells_done").number, 0.0);
+    EXPECT_LE(doc.at("cells_done").number, static_cast<double>(cells));
+    EXPECT_GE(doc.at("elapsed_ms").number, 0.0);
+    EXPECT_GE(doc.at("runs_per_sec").number, 0.0);
+    ASSERT_TRUE(doc.at("workers").is_array());
+    EXPECT_EQ(doc.at("workers").items.size(), 2u);
+    for (const jsonmin::Value& w : doc.at("workers").items) {
+      EXPECT_GE(w.at("runs").number, 0.0);
+      EXPECT_GE(w.at("idle_ms").number, 0.0);
+      // Nothing stalls in a sub-second grid with a 30 s watchdog.
+      EXPECT_FALSE(w.at("stalled").boolean);
+    }
+    if (doc.at("done").boolean) {
+      saw_done = true;
+      // The final line reports the finished grid exactly.
+      EXPECT_EQ(doc.at("cells_done").number, static_cast<double>(cells));
+    } else {
+      EXPECT_FALSE(saw_done) << "heartbeat after the done line";
+    }
+  }
+  ASSERT_GE(parsed, 1);
+  EXPECT_TRUE(saw_done);
+
+  // Progress observation must not perturb the computation: the aggregate
+  // still matches an unobserved run.
+  SweepEngine quiet;
+  SweepOptions plain;
+  plain.workers = 2;
+  EXPECT_EQ(quiet.run(spec, plain).aggregate_json(),
+            engine.run(spec, opt).aggregate_json());
+}
+
 // --- NetworkOptions::shared_pool --------------------------------------------
 
 TEST(NetworkSharedPool, MatchingPoolIsBitIdenticalToPrivatePool) {
@@ -484,27 +539,43 @@ TEST(NetworkSharedPool, MatchingPoolIsBitIdenticalToPrivatePool) {
   EXPECT_EQ(m_shared.to_json(), m_private.to_json());
 }
 
-TEST(NetworkSharedPool, MismatchedPoolFallsBackSilently) {
+TEST(NetworkSharedPool, MismatchedPoolFallsBackAndCountsTheFallback) {
   const Graph g = graph::grid(8, 8);
   ThreadPool pool(2);  // wrong size for a 4-shard network
+  MetricsRegistry metrics;
   NetworkOptions o;
   o.bandwidth_tokens = 2;
   o.num_threads = 4;
   o.sparse_serial_threshold = 0;
   o.shared_pool = &pool;
+  o.metrics = &metrics;
   Network net(g, o);
+  // The fallback keeps the run correct but quietly drops intra-run
+  // parallelism — a misconfiguration worth surfacing, so the constructor
+  // counts it where run reports can see it.
+  EXPECT_EQ(metrics.counter("pool_fallbacks")->value(), 1);
   auto algos = flood_algos(g.num_vertices());
   const RunStats got = net.run(algos);
 
   NetworkOptions serial = o;
   serial.num_threads = 1;
   serial.shared_pool = nullptr;
+  serial.metrics = nullptr;
   Network ref(g, serial);
   auto ref_algos = flood_algos(g.num_vertices());
   const RunStats want = ref.run(ref_algos);
   EXPECT_EQ(got.rounds, want.rounds);
   EXPECT_EQ(got.messages_sent, want.messages_sent);
   EXPECT_EQ(got.max_edge_load, want.max_edge_load);
+
+  // Control: a size-matched pool (or no pool) never trips the counter.
+  ThreadPool matched(4);
+  MetricsRegistry clean;
+  NetworkOptions ok = o;
+  ok.shared_pool = &matched;
+  ok.metrics = &clean;
+  Network net_ok(g, ok);
+  EXPECT_EQ(clean.counter("pool_fallbacks")->value(), 0);
 }
 
 }  // namespace

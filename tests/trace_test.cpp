@@ -465,6 +465,311 @@ TEST(Trace, ViolationsExportedInJsonl) {
   EXPECT_NE(os.str().find("\"kind\":\"bandwidth\""), std::string::npos);
 }
 
+// --- Sharded trace lanes (DESIGN.md §18) -------------------------------------
+
+std::string jsonl_of(const MetricsCollector& c) {
+  std::ostringstream os;
+  export_jsonl(c, os);
+  return os.str();
+}
+
+std::string chrome_of(const MetricsCollector& c) {
+  std::ostringstream os;
+  export_chrome_trace(c, os);
+  return os.str();
+}
+
+// run_gather with full NetworkOptions control (thread count, sampling,
+// faults) for the thread-invariance suites.
+GatherResult run_gather_net(const Graph& g, NetworkOptions net) {
+  const auto cluster = single_cluster(g);
+  const auto leaders = elect_cluster_leaders(g, cluster);
+  std::vector<std::vector<GatherToken>> tokens(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tokens[v].push_back({v, {v, 1000 + v}});
+  }
+  GatherOptions opt;
+  opt.net = net;
+  opt.net.bandwidth_tokens = 4;
+  return random_walk_gather(g, cluster, leaders.leader_of, tokens, opt);
+}
+
+// The tentpole acceptance criterion: per-shard trace lanes merged in fixed
+// shard-then-trace order at the round barrier make the event stream — and
+// therefore both exporters, byte for byte — independent of the thread
+// count. sparse_serial_threshold 0 forces real dispatched rounds (the
+// 90-vertex graph would otherwise ride the serial fallback throughout).
+TEST(ShardedTrace, ExportsAreByteIdenticalAcrossThreadCounts) {
+  Rng rng(43);
+  const Graph g = graph::random_maximal_planar(90, rng);
+  MetricsCollector serial;
+  NetworkOptions ref;
+  ref.trace = &serial;
+  ASSERT_TRUE(run_gather_net(g, ref).complete);
+  const std::string ref_jsonl = jsonl_of(serial);
+  const std::string ref_chrome = chrome_of(serial);
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    MetricsCollector mc;
+    NetworkOptions net;
+    net.trace = &mc;
+    net.num_threads = threads;
+    net.sparse_serial_threshold = 0;
+    ASSERT_TRUE(run_gather_net(g, net).complete);
+    EXPECT_EQ(jsonl_of(mc), ref_jsonl);
+    EXPECT_EQ(chrome_of(mc), ref_chrome);
+  }
+}
+
+// Full-duplex chatter for a fixed number of rounds: every port loaded every
+// round, so fault injection and churn have in-flight traffic to act on.
+class ChatterAlgo final : public VertexAlgorithm {
+ public:
+  explicit ChatterAlgo(int rounds) : rounds_(rounds) {}
+  void round(Context& ctx) override {
+    if (ctx.round() < rounds_) {
+      for (int p = 0; p < ctx.num_ports(); ++p) {
+        ctx.send(p, {{ctx.round() * 131 + p}});
+      }
+    } else {
+      done_ = true;
+    }
+  }
+  bool finished() const override { return done_; }
+
+ private:
+  int rounds_;
+  bool done_ = false;
+};
+
+std::vector<std::unique_ptr<VertexAlgorithm>> make_chatter(const Graph& g,
+                                                           int rounds) {
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    algos.push_back(std::make_unique<ChatterAlgo>(rounds));
+  }
+  return algos;
+}
+
+// Byte-identity must survive the delivery paths that mutate traffic midway:
+// duplicated and delayed messages (fault layer) and a mid-run edge delete
+// with its purge replay. The fault schedule is seed-deterministic across
+// thread counts, so the traced event stream must be too.
+TEST(ShardedTrace, FaultedAndChurnedExportsAreThreadCountInvariant) {
+  const Graph g = graph::grid(8, 8);
+  const auto run_traced = [&](int threads) {
+    MetricsCollector mc;
+    NetworkOptions opt;
+    opt.trace = &mc;
+    opt.num_threads = threads;
+    opt.sparse_serial_threshold = 0;
+    opt.faults.seed = 0xabcdULL;
+    opt.faults.duplicate_probability = 0.1;
+    opt.faults.delay_probability = 0.2;
+    opt.faults.max_delay_rounds = 2;
+    opt.faults.churn = {{ChurnKind::kEdgeDelete, 3, 0, 1},
+                        {ChurnKind::kEdgeInsert, 6, 0, 1}};
+    Network net(g, opt);
+    auto algos = make_chatter(g, 10);
+    net.run(algos);
+    return jsonl_of(mc);
+  };
+  const std::string ref = run_traced(1);
+  EXPECT_NE(ref.find("\"type\":\"churn\""), std::string::npos);
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(run_traced(threads), ref);
+  }
+}
+
+// A violated parallel run must report the same violation the serial run
+// reports: the lowest shard's first violation — which is the globally
+// first violating vertex, because shard 0 owns vertex 0 and scans its
+// members in order. The whole export ties, not just the violation line.
+TEST(ShardedTrace, ViolationReportMatchesSerialAcrossThreadCounts) {
+  const Graph g = graph::grid(4, 4);
+  const auto run_violated = [&](int threads) {
+    MetricsCollector mc;
+    NetworkOptions opt;
+    opt.trace = &mc;
+    opt.num_threads = threads;
+    opt.sparse_serial_threshold = 0;
+    Network net(g, opt);
+    std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      algos.push_back(std::make_unique<DoubleSendAlgo>());
+    }
+    EXPECT_THROW(net.run(algos), CongestionError);
+    EXPECT_EQ(mc.violations().size(), 1u);
+    return jsonl_of(mc);
+  };
+  const std::string ref = run_violated(1);
+  EXPECT_NE(ref.find("\"type\":\"violation\""), std::string::npos);
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(run_violated(threads), ref);
+  }
+}
+
+// --- Sampling filters (TraceConfig) ------------------------------------------
+
+// Sampling is a pure function of (round, receiver, tag): the filtered
+// stream is deterministic, thread-count-invariant, and exactly the subset
+// the filters describe.
+TEST(TraceSampling, FiltersAreDeterministicAndThreadInvariant) {
+  const Graph g = graph::grid(8, 8);
+  const auto run_sampled = [&](int threads) {
+    MetricsCollector mc;
+    NetworkOptions opt;
+    opt.trace = &mc;
+    opt.num_threads = threads;
+    opt.sparse_serial_threshold = 0;
+    opt.trace_config.round_period = 2;
+    opt.trace_config.vertex_stride = 2;
+    Network net(g, opt);
+    auto algos = make_chatter(g, 9);
+    net.run(algos);
+    return jsonl_of(mc);
+  };
+  const std::string ref = run_sampled(1);
+  for (int threads : {4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(run_sampled(threads), ref);
+  }
+
+  // Golden subset shape: only even rounds sampled, only even receivers.
+  MetricsCollector mc;
+  NetworkOptions opt;
+  opt.trace = &mc;
+  opt.trace_config.round_period = 2;
+  opt.trace_config.vertex_stride = 2;
+  Network net(g, opt);
+  auto algos = make_chatter(g, 9);
+  const RunStats stats = net.run(algos);
+  ASSERT_GT(mc.rounds().size(), 0u);
+  for (const RoundSample& r : mc.rounds()) {
+    EXPECT_EQ(r.round % 2, 0) << "unsampled round leaked";
+  }
+  EXPECT_LT(static_cast<std::int64_t>(mc.rounds().size()), stats.rounds);
+  const auto edges = mc.top_edges(-1);
+  ASSERT_GT(edges.size(), 0u);
+  for (const EdgeTraffic& e : edges) {
+    EXPECT_EQ(e.to % 2, 0) << "unsampled receiver leaked";
+  }
+  // Sampled-out events are filtered, not rerouted: the collector saw
+  // strictly less than the run's true totals.
+  EXPECT_LT(mc.totals().messages_sent, stats.messages_sent);
+}
+
+TEST(TraceSampling, TagFilterKeepsOnlyTheRequestedTag) {
+  Rng rng(47);
+  const Graph g = graph::random_maximal_planar(50, rng);
+  MetricsCollector mc;
+  NetworkOptions net;
+  net.trace = &mc;
+  net.trace_config.tag_filter = kTagWalkToken;
+  ASSERT_TRUE(run_gather_net(g, net).complete);
+  ASSERT_FALSE(mc.tag_stats().empty());
+  for (const auto& [tag, stats] : mc.tag_stats()) {
+    EXPECT_EQ(tag, kTagWalkToken);
+  }
+  // Edge loads are tag-agnostic and stay complete.
+  EXPECT_GT(mc.totals().messages_sent, 0);
+}
+
+// --- FlightRecorder ----------------------------------------------------------
+
+TEST(FlightRecorderTest, RingWrapRetainsNewestEvents) {
+  FlightRecorder::Options o;
+  o.ring_capacity = 8;
+  o.keep_rounds = 1000;  // only the capacity bound in play
+  FlightRecorder fr(o);
+  // 3 events per round (2 messages + the round marker), rounds 0..4:
+  // 15 events through a ring of 8.
+  for (int r = 0; r < 5; ++r) {
+    fr.on_message(r, kTagDefault, 1);
+    fr.on_message(r, kTagDefault, 2);
+    fr.on_round_end(r, 2, 3, 1);
+  }
+  EXPECT_EQ(fr.events_retained(), 8);
+  EXPECT_EQ(fr.events_dropped(), 7);
+  EXPECT_EQ(fr.last_round(), 4);
+  std::ostringstream os;
+  fr.dump_jsonl(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"type\":\"flight\""), std::string::npos);
+  // The oldest retained event is from round 2; rounds 0 and 1 were
+  // overwritten by the wrap.
+  EXPECT_EQ(text.find("\"type\":\"message\",\"round\":0"), std::string::npos);
+  EXPECT_EQ(text.find("\"type\":\"message\",\"round\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"message\",\"round\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"retained\":8"), std::string::npos);
+  EXPECT_NE(text.find("\"dropped\":7"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, KeepRoundsTrimsBehindTheNewestRound) {
+  FlightRecorder::Options o;
+  o.ring_capacity = 1 << 12;  // capacity never binds
+  o.keep_rounds = 3;
+  FlightRecorder fr(o);
+  for (int r = 0; r < 10; ++r) {
+    fr.on_message(r, kTagDefault, 1);
+    fr.on_edge_load(r, 0, 1, 1, 1);
+    fr.on_round_end(r, 1, 1, 1);
+  }
+  // Rounds 7, 8, 9 survive: 3 rounds x 3 events.
+  EXPECT_EQ(fr.events_retained(), 9);
+  EXPECT_EQ(fr.events_dropped(), 21);
+  std::ostringstream os;
+  fr.dump_jsonl(os);
+  EXPECT_EQ(os.str().find("\"round\":6,"), std::string::npos);
+  EXPECT_NE(os.str().find("\"type\":\"round\",\"round\":7"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("\"type\":\"round\",\"round\":9"),
+            std::string::npos);
+}
+
+// The post-mortem contract: a CongestionError auto-dumps the ring — last K
+// rounds plus the violation — before the exception reaches the caller.
+TEST(FlightRecorderTest, AutoDumpsRingOnCongestionAbort) {
+  const Graph g = graph::path(2);
+  FlightRecorder fr;
+  std::ostringstream dump;
+  fr.set_auto_dump(&dump);
+  NetworkOptions opt;
+  opt.trace = &fr;
+  Network net(g, opt);
+  std::vector<std::unique_ptr<VertexAlgorithm>> algos;
+  algos.push_back(std::make_unique<DoubleSendAlgo>());
+  algos.push_back(std::make_unique<DoubleSendAlgo>());
+  EXPECT_THROW(net.run(algos), CongestionError);
+  const std::string text = dump.str();
+  EXPECT_NE(text.find("\"type\":\"flight\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"violation\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"bandwidth\""), std::string::npos);
+  EXPECT_NE(text.find("\"used\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"budget\":1"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RecordsRunLifecycleAndStaysWithinCapacity) {
+  const Graph g = graph::grid(6, 6);
+  FlightRecorder::Options o;
+  o.ring_capacity = 64;
+  o.keep_rounds = 2;
+  FlightRecorder fr(o);
+  NetworkOptions opt;
+  opt.trace = &fr;
+  Network net(g, opt);
+  auto algos = make_chatter(g, 6);
+  net.run(algos);
+  EXPECT_LE(fr.events_retained(), 64);
+  EXPECT_GT(fr.events_retained(), 0);
+  EXPECT_GT(fr.events_dropped(), 0);
+  std::ostringstream os;
+  fr.dump_jsonl(os);
+  EXPECT_NE(os.str().find("\"type\":\"run_end\""), std::string::npos);
+}
+
 TEST(Trace, SpanGuardToleratesNullSink) {
   // TRACE_SPAN with a null sink must compile to a no-op.
   TRACE_SPAN(nullptr, "nothing");

@@ -156,13 +156,17 @@ CompareResult compare_bench_snapshots(const jsonmin::Value& baseline,
       }
     }
     // Informational deltas: profile_* counters from the execution profiler
-    // (--ecd_profile), and peak_rss_mb. Never gated — wall-clock fractions
-    // vary with the machine, and peak RSS is process-wide and monotonic
-    // across rows (a row measured after a bigger one inherits its peak) —
-    // but surfaced so the table explains a throughput delta or a memory
-    // blow-up.
+    // (--ecd_profile), peak_rss_mb, and trace_overhead_pct. Never gated —
+    // wall-clock fractions vary with the machine, peak RSS is process-wide
+    // and monotonic across rows (a row measured after a bigger one inherits
+    // its peak), and trace overhead is a ratio of two measurements whose
+    // noise compounds — but surfaced so the table explains a throughput
+    // delta or a memory blow-up.
     for (const auto& [cname, cur_value] : cur.counters) {
-      if (cname.rfind("profile_", 0) != 0 && cname != "peak_rss_mb") continue;
+      if (cname.rfind("profile_", 0) != 0 && cname != "peak_rss_mb" &&
+          cname != "trace_overhead_pct") {
+        continue;
+      }
       const auto bit = base.counters.find(cname);
       const bool has_base = bit != base.counters.end();
       result.deltas.push_back(
